@@ -1,0 +1,169 @@
+package subtraj
+
+import (
+	"errors"
+
+	"subtraj/internal/core"
+	"subtraj/internal/index"
+	"subtraj/internal/traj"
+)
+
+// Engine answers subtrajectory similarity queries over one dataset and one
+// WED cost model. Build once, query many times; Append supports
+// incremental updates.
+type Engine struct {
+	inner *core.Engine
+}
+
+// NewEngine indexes the dataset under the cost model. The dataset's
+// representation must match the cost model's alphabet (vertex models: Lev,
+// EDR, ERP, NetEDR, NetERP; edge models: Lev, SURS) — the engine cannot
+// check this, so mixing them silently searches the wrong alphabet.
+func NewEngine(ds *Dataset, costs FilterCosts) (*Engine, error) {
+	if ds == nil || costs == nil {
+		return nil, errors.New("subtraj: nil dataset or cost model")
+	}
+	return &Engine{inner: core.NewEngine(ds, costs)}, nil
+}
+
+// Inner exposes the internal engine for the experiment harness.
+func (e *Engine) Inner() *core.Engine { return e.inner }
+
+// Dataset returns the indexed dataset.
+func (e *Engine) Dataset() *Dataset { return e.inner.Dataset() }
+
+// Costs returns the engine's cost model.
+func (e *Engine) Costs() FilterCosts { return e.inner.Costs() }
+
+// Append indexes one more trajectory and returns its ID.
+func (e *Engine) Append(t Trajectory) int32 { return e.inner.Append(t) }
+
+// Search returns every match with wed(P[s..t], Q) < tau (Definition 3),
+// sorted by (ID, S, T), each carrying its exact distance.
+func (e *Engine) Search(q []Symbol, tau float64) ([]Match, error) {
+	return e.inner.Search(q, tau)
+}
+
+// SearchRatio derives τ from the paper's threshold ratio:
+// τ = ratio · Σ_{q∈Q} c(q) (§6.1).
+func (e *Engine) SearchRatio(q []Symbol, ratio float64) ([]Match, error) {
+	return e.inner.Search(q, e.Threshold(q, ratio))
+}
+
+// Threshold converts a τ_ratio into an absolute τ for query q.
+func (e *Engine) Threshold(q []Symbol, ratio float64) float64 {
+	return ratio * core.SumFilterCost(e.inner.Costs(), q)
+}
+
+// SearchStats searches with explicit verification options and returns
+// instrumentation (candidate counts, time breakdown, UPR/CMR).
+func (e *Engine) SearchStats(q []Symbol, tau float64, vopts VerifyOptions) ([]Match, *QueryStats, error) {
+	return e.inner.SearchQuery(core.Query{Q: q, Tau: tau, Verify: vopts})
+}
+
+// TemporalWindow is a query time interval I = [Lo, Hi] in dataset seconds.
+type TemporalWindow struct {
+	Lo, Hi float64
+	// Contain requires [T_s, T_t] ⊆ I; the default requires overlap,
+	// [T_s, T_t] ∩ I ≠ ∅ (§4.3).
+	Contain bool
+	// Departure requires the matched trajectory to depart inside I
+	// (T_1 ∈ I); its pre-filter binary-searches departure-sorted
+	// postings lists (§4.3). Takes precedence over Contain.
+	Departure bool
+	// NoPrefilter disables the candidate-level temporal prune, checking
+	// the constraint only after verification (the paper's "no-TF").
+	NoPrefilter bool
+}
+
+// SearchTemporal answers a temporally constrained query: matches must
+// satisfy the window constraint on the timestamps at their endpoints.
+func (e *Engine) SearchTemporal(q []Symbol, tau float64, w TemporalWindow) ([]Match, *QueryStats, error) {
+	qr := core.Query{Q: q, Tau: tau}
+	qr.Temporal.Lo, qr.Temporal.Hi = w.Lo, w.Hi
+	qr.Temporal.DisablePrefilter = w.NoPrefilter
+	switch {
+	case w.Departure:
+		qr.Temporal.Mode = core.TemporalDeparture
+	case w.Contain:
+		qr.Temporal.Mode = core.TemporalContain
+	default:
+		qr.Temporal.Mode = core.TemporalOverlap
+	}
+	return e.inner.SearchQuery(qr)
+}
+
+// SearchTopK returns the best-matching subtrajectory of each of the k
+// most similar trajectories, ordered by ascending WED (§6.2.1's top-k
+// protocol). See core.Engine.SearchTopK for the searchable-radius caveat.
+func (e *Engine) SearchTopK(q []Symbol, k int) ([]Match, error) {
+	return e.inner.SearchTopK(q, k)
+}
+
+// SearchExact answers the exact path query (the paper's §1 baseline):
+// every subtrajectory equal to Q symbol for symbol, found via the rarest
+// query symbol's postings with no dynamic programming.
+func (e *Engine) SearchExact(q []Symbol) ([]Match, error) {
+	return e.inner.SearchExact(q)
+}
+
+// CountExact returns the exact occurrence count of Q — path popularity
+// estimation (§1).
+func (e *Engine) CountExact(q []Symbol) (int, error) {
+	return e.inner.CountExact(q)
+}
+
+// PathIndex is a suffix array over all trajectory paths, answering exact
+// subtrajectory lookups in O(|Q|·log N) independent of symbol frequencies
+// (the suffix-array indexing route of the paper's §7 related work). It is
+// an alternative to Engine.SearchExact for exact-only workloads such as
+// path popularity estimation.
+type PathIndex struct {
+	inner *index.PathSuffixArray
+}
+
+// NewPathIndex builds the suffix array over the dataset. Unlike Engine,
+// a PathIndex is static: rebuild after appending trajectories.
+func NewPathIndex(ds *Dataset) *PathIndex {
+	return &PathIndex{inner: index.BuildPathSuffixArray(ds)}
+}
+
+// Lookup returns every exact occurrence of q as matches with WED 0.
+func (pi *PathIndex) Lookup(q []Symbol) []Match {
+	var out []Match
+	for _, p := range pi.inner.Lookup(q) {
+		out = append(out, Match{ID: p.ID, S: p.Pos, T: p.Pos + int32(len(q)) - 1})
+	}
+	return out
+}
+
+// Count returns the number of exact occurrences of q — path popularity.
+func (pi *PathIndex) Count(q []Symbol) int { return pi.inner.Count(q) }
+
+// BestPerTrajectory reduces a match set to the paper's effectiveness-
+// experiment convention (§6.2.1): one match per trajectory — the smallest
+// WED, ties broken by the shortest subtrajectory, then by position.
+func BestPerTrajectory(ms []Match) map[int32]Match {
+	best := make(map[int32]Match)
+	for _, m := range ms {
+		b, ok := best[m.ID]
+		if !ok || better(m, b) {
+			best[m.ID] = m
+		}
+	}
+	return best
+}
+
+func better(a, b traj.Match) bool {
+	if a.WED != b.WED {
+		return a.WED < b.WED
+	}
+	la, lb := a.T-a.S, b.T-b.S
+	if la != lb {
+		return la < lb
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.T < b.T
+}

@@ -1,0 +1,92 @@
+// Alternative route suggestion (the paper's §6.2.2): a driver plans a
+// route Q from u to v; variations of Q found in historical trajectories
+// are suggested as alternatives, ranked by "naturalness" — how steadily a
+// route progresses toward the destination.
+//
+//	go run ./examples/altroutes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"subtraj"
+)
+
+func main() {
+	log.SetFlags(0)
+	w := subtraj.Generate(subtraj.BeijingLike().Scale(0.05))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, err := subtraj.NewEngine(w.Data, net.EDR(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	q, err := subtraj.SampleQuery(w.Data, 40, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, v := q[0], q[len(q)-1]
+	fmt.Printf("planned route: %d vertices from %d to %d\n", len(q), u, v)
+
+	ms, err := eng.SearchRatio(q, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep only matches that actually start at u and end at v, and
+	// deduplicate identical paths driven by different vehicles.
+	seen := map[string]bool{}
+	type route struct {
+		path []subtraj.Symbol
+		wed  float64
+	}
+	var routes []route
+	for _, m := range ms {
+		p := w.Data.Get(m.ID).Path[m.S : m.T+1]
+		if p[0] != u || p[len(p)-1] != v {
+			continue
+		}
+		key := fmt.Sprint(p)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		routes = append(routes, route{path: p, wed: m.WED})
+	}
+	fmt.Printf("found %d distinct alternative routes (τ_ratio = 0.25)\n", len(routes))
+
+	for i, r := range routes {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(routes)-8)
+			break
+		}
+		length, err := w.Graph.PathWeight(r.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  route %d: %3d vertices, %6.0f m, wed=%.2f, naturalness=%.3f\n",
+			i+1, len(r.path), length, r.wed, naturalness(w, r.path, v))
+	}
+}
+
+// naturalness is the fraction of hops that get closer (Euclidean, for the
+// example; the evaluation harness uses network distance) to the
+// destination than ever before.
+func naturalness(w *subtraj.Workload, route []subtraj.Symbol, dest subtraj.Symbol) float64 {
+	if len(route) < 2 {
+		return 0
+	}
+	destPt := w.Graph.Coord(dest)
+	closest := w.Graph.Coord(route[0]).Dist(destPt)
+	count := 0
+	for _, s := range route[1:] {
+		if d := w.Graph.Coord(s).Dist(destPt); d < closest {
+			count++
+			closest = d
+		}
+	}
+	return float64(count) / float64(len(route)-1)
+}

@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// DITA is the paper's adaptation (Appendix C) of Shang et al.'s pivot
+// index to WED subtrajectory search. Because DITA supports only whole
+// matching, every subtrajectory of every data trajectory is enumerated
+// offline; for each subtrajectory P', K pivots P” ⊆ P' are chosen and
+// stored in a trie. At query time the trie is traversed with the pivot
+// lower bound
+//
+//	LB_pivot(P'', Q) = Σ_{p ∈ P''} min_{q ∈ Q ∪ {ε}} sub(p, q) ≤ wed(P', Q),
+//
+// pruning subtrees whose accumulated bound reaches τ; survivors are
+// verified exactly. The enumeration makes the index explode on real
+// datasets (Figure 9/10 and Table 6's point), so constructors accept only
+// modest datasets.
+type DITA struct {
+	costs wed.Costs
+	ds    *traj.Dataset
+	root  *ditaNode
+	// Subtrajectories counts the enumerated entries (Table 6 metric).
+	Subtrajectories int
+	nodes           int
+}
+
+type ditaNode struct {
+	sym      traj.Symbol
+	children map[traj.Symbol]*ditaNode
+	// refs lists the subtrajectories whose pivot sequence ends here.
+	refs []subref
+}
+
+type subref struct {
+	id   int32
+	s, t int32
+}
+
+// PivotScore ranks symbols for pivot selection; higher scores are chosen
+// first. The paper uses symbol frequency for EDR and deletion cost for ERP.
+type PivotScore func(sym traj.Symbol) float64
+
+// FrequencyScore ranks by global symbol frequency (the EDR choice).
+func FrequencyScore(freq func(traj.Symbol) int) PivotScore {
+	return func(sym traj.Symbol) float64 { return float64(freq(sym)) }
+}
+
+// DeletionCostScore ranks by deletion cost (the ERP choice).
+func DeletionCostScore(costs wed.Costs) PivotScore {
+	return func(sym traj.Symbol) float64 { return costs.Del(sym) }
+}
+
+type scoredPos struct {
+	pos   int32
+	score float64
+}
+
+// NewDITA enumerates and indexes all subtrajectories of ds with K pivots
+// per subtrajectory (the paper selects K = 10).
+func NewDITA(costs wed.Costs, ds *traj.Dataset, k int, score PivotScore) *DITA {
+	d := &DITA{costs: costs, ds: ds, root: &ditaNode{children: make(map[traj.Symbol]*ditaNode)}}
+	for id := range ds.Trajs {
+		p := ds.Trajs[id].Path
+		ranked := make([]scoredPos, len(p))
+		for i, sym := range p {
+			ranked[i] = scoredPos{pos: int32(i), score: score(sym)}
+		}
+		for s := 0; s < len(p); s++ {
+			for t := s; t < len(p); t++ {
+				// Pivots of P[s..t]: top-K by score, kept in path order.
+				window := make([]scoredPos, t-s+1)
+				copy(window, ranked[s:t+1])
+				sort.Slice(window, func(a, b int) bool {
+					if window[a].score != window[b].score {
+						return window[a].score > window[b].score
+					}
+					return window[a].pos < window[b].pos
+				})
+				kk := k
+				if kk > len(window) {
+					kk = len(window)
+				}
+				pivots := window[:kk]
+				sort.Slice(pivots, func(a, b int) bool { return pivots[a].pos < pivots[b].pos })
+				d.insert(p, pivots, int32(id), int32(s), int32(t))
+				d.Subtrajectories++
+			}
+		}
+	}
+	return d
+}
+
+func (d *DITA) insert(p []traj.Symbol, pivots []scoredPos, id, s, t int32) {
+	node := d.root
+	for _, pv := range pivots {
+		sym := p[pv.pos]
+		child := node.children[sym]
+		if child == nil {
+			child = &ditaNode{sym: sym, children: make(map[traj.Symbol]*ditaNode)}
+			node.children[sym] = child
+			d.nodes++
+		}
+		node = child
+	}
+	node.refs = append(node.refs, subref{id: id, s: s, t: t})
+}
+
+// Nodes returns the pivot-trie node count (index-size metric).
+func (d *DITA) Nodes() int { return d.nodes }
+
+// Search traverses the pivot trie with the accumulated lower bound and
+// verifies surviving subtrajectories exactly.
+func (d *DITA) Search(q []traj.Symbol, tau float64) Result {
+	// minSub caches min_{x ∈ Q ∪ {ε}} sub(sym, x) per distinct symbol.
+	minSub := make(map[traj.Symbol]float64)
+	bound := func(sym traj.Symbol) float64 {
+		if v, ok := minSub[sym]; ok {
+			return v
+		}
+		v := d.costs.Del(sym)
+		for _, x := range q {
+			if s := d.costs.Sub(sym, x); s < v {
+				v = s
+			}
+		}
+		minSub[sym] = v
+		return v
+	}
+	var cands []subref
+	var walk func(n *ditaNode, acc float64)
+	walk = func(n *ditaNode, acc float64) {
+		if acc >= tau {
+			return
+		}
+		cands = append(cands, n.refs...)
+		for sym, child := range n.children {
+			walk(child, acc+bound(sym))
+		}
+	}
+	walk(d.root, 0)
+
+	var out []traj.Match
+	for _, c := range cands {
+		p := d.ds.Path(c.id)[c.s : c.t+1]
+		if w := wed.Dist(d.costs, p, q); w < tau {
+			out = append(out, traj.Match{ID: c.id, S: c.s, T: c.t, WED: w})
+		}
+	}
+	sortMatches(out)
+	return Result{Matches: out, Candidates: len(cands)}
+}

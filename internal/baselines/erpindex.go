@@ -1,0 +1,74 @@
+package baselines
+
+import (
+	"subtraj/internal/geo"
+	"subtraj/internal/spatial"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// ERPIndex is the paper's adaptation (§6.1) of Chen & Ng's ERP index to
+// subtrajectory search: every subtrajectory P' is enumerated offline and
+// its coordinate sum, translated so the ERP reference point is the origin,
+//
+//	sum(P') = Σ_i (coord(P'_i) − g),
+//
+// is stored in a kd-tree. The translated-sum lower bound
+//
+//	‖sum(P) − sum(Q)‖ ≤ ERP(P, Q)
+//
+// holds because every edit operation's cost dominates the norm of its
+// contribution to the sum difference (substitution: ‖a−b‖; deletion of a:
+// ‖a−g‖; insertion of b: ‖b−g‖). A query is a τ-ball range search around
+// sum(Q), and survivors are verified exactly — so the baseline is exact
+// and complete for the ERP cost model only.
+type ERPIndex struct {
+	costs  wed.Costs
+	ds     *traj.Dataset
+	coords []geo.Point
+	ref    geo.Point
+	tree   *spatial.KDTree
+	refs   []subref
+	// Subtrajectories counts the enumerated entries (Table 6 metric).
+	Subtrajectories int
+}
+
+// NewERPIndex enumerates all subtrajectories; coords maps vertex IDs to
+// coordinates and ref is the same ERP reference point the cost model uses.
+func NewERPIndex(costs wed.Costs, ds *traj.Dataset, coords []geo.Point, ref geo.Point) *ERPIndex {
+	e := &ERPIndex{costs: costs, ds: ds, coords: coords, ref: ref}
+	var pts []geo.Point
+	for id := range ds.Trajs {
+		p := ds.Trajs[id].Path
+		for s := 0; s < len(p); s++ {
+			var sum geo.Point
+			for t := s; t < len(p); t++ {
+				sum = sum.Add(coords[p[t]].Sub(ref))
+				pts = append(pts, sum)
+				e.refs = append(e.refs, subref{id: int32(id), s: int32(s), t: int32(t)})
+			}
+		}
+	}
+	e.Subtrajectories = len(e.refs)
+	e.tree = spatial.Build(pts)
+	return e
+}
+
+// Search answers the subtrajectory query under the ERP cost model.
+func (e *ERPIndex) Search(q []traj.Symbol, tau float64) Result {
+	var qsum geo.Point
+	for _, sym := range q {
+		qsum = qsum.Add(e.coords[sym].Sub(e.ref))
+	}
+	hits := e.tree.Range(qsum, tau, nil)
+	var out []traj.Match
+	for _, h := range hits {
+		c := e.refs[h]
+		p := e.ds.Path(c.id)[c.s : c.t+1]
+		if w := wed.Dist(e.costs, p, q); w < tau {
+			out = append(out, traj.Match{ID: c.id, S: c.s, T: c.t, WED: w})
+		}
+	}
+	sortMatches(out)
+	return Result{Matches: out, Candidates: len(hits)}
+}

@@ -1,0 +1,188 @@
+package baselines
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// QGramIndex is the q-gram baseline of §6.1 / Appendix C for unit-cost
+// models (EDR, Lev): data trajectories are indexed by their q-grams
+// (without substring enumeration); a query trajectory is filtered by the
+// count bound
+//
+//	H[id] ≥ |Q| − q + 1 − τ·q,
+//
+// where H[id] totals, over every query gram x and every gram x' matching x
+// (element-wise zero substitution cost), the occurrences of x' in P^(id).
+// Surviving trajectories are verified with the full threshold-aware DP.
+type QGramIndex struct {
+	q     int
+	costs wed.FilterCosts
+	ds    *traj.Dataset
+	// grams maps a q-gram to per-trajectory occurrence counts, stored as
+	// parallel slices (ids ascending).
+	grams map[gramKey]*postings
+	// BuildNanos and Entries report construction cost for Table 6.
+	Entries int
+}
+
+type gramKey [3]traj.Symbol
+
+type postings struct {
+	ids    []int32
+	counts []int32
+}
+
+func (p *postings) add(id int32) {
+	if n := len(p.ids); n > 0 && p.ids[n-1] == id {
+		p.counts[n-1]++
+		return
+	}
+	p.ids = append(p.ids, id)
+	p.counts = append(p.counts, 1)
+}
+
+// NewQGramIndex builds the index with gram length q (the paper uses q = 3;
+// only q ≤ 3 is supported by the fixed-size key).
+func NewQGramIndex(costs wed.FilterCosts, ds *traj.Dataset, q int) *QGramIndex {
+	if q < 1 || q > 3 {
+		panic("baselines: q-gram length must be in 1..3")
+	}
+	gi := &QGramIndex{q: q, costs: costs, ds: ds, grams: make(map[gramKey]*postings)}
+	for id := range ds.Trajs {
+		p := ds.Trajs[id].Path
+		for i := 0; i+q <= len(p); i++ {
+			k := gi.key(p[i : i+q])
+			pl := gi.grams[k]
+			if pl == nil {
+				pl = &postings{}
+				gi.grams[k] = pl
+			}
+			pl.add(int32(id))
+			gi.Entries++
+		}
+	}
+	return gi
+}
+
+func (gi *QGramIndex) key(g []traj.Symbol) gramKey {
+	var k gramKey
+	k[0], k[1], k[2] = -1, -1, -1
+	copy(k[:], g)
+	return k
+}
+
+// Search answers the subtrajectory query, returning the exact result set.
+func (gi *QGramIndex) Search(q []traj.Symbol, tau float64) Result {
+	need := float64(len(q)-gi.q+1) - tau*float64(gi.q)
+	counts := make(map[int32]int32)
+	if need > 0 && len(q) >= gi.q {
+		// Count matching-gram occurrences per trajectory.
+		neigh := make([][]traj.Symbol, len(q))
+		for i, sym := range q {
+			neigh[i] = gi.costs.Neighbors(sym, nil)
+		}
+		var expand func(pos, depth int, k gramKey)
+		expand = func(pos, depth int, k gramKey) {
+			if depth == gi.q {
+				if pl, ok := gi.grams[k]; ok {
+					for i, id := range pl.ids {
+						counts[id] += pl.counts[i]
+					}
+				}
+				return
+			}
+			for _, b := range neigh[pos+depth] {
+				k[depth] = b
+				expand(pos, depth+1, k)
+			}
+		}
+		for pos := 0; pos+gi.q <= len(q); pos++ {
+			k := gi.key(nil)
+			expand(pos, 0, k)
+		}
+	} else {
+		// The bound is vacuous (the paper's observation that q-gram
+		// filtering collapses for loose thresholds): every trajectory
+		// is a candidate.
+		need = 0
+		for id := 0; id < gi.ds.Len(); id++ {
+			counts[int32(id)] = 0
+		}
+	}
+	var out []traj.Match
+	var cands int
+	for id, h := range counts {
+		if float64(h) < need {
+			continue
+		}
+		cands++
+		p := gi.ds.Path(id)
+		for _, m := range wed.AllMatches(gi.costs, q, p, tau) {
+			out = append(out, traj.Match{ID: id, S: int32(m.S), T: int32(m.T), WED: m.WED})
+		}
+	}
+	sortMatches(out)
+	return Result{Matches: out, Candidates: cands}
+}
+
+// CandidatePositions returns the q-gram analogue of the candidate count
+// compared in Figure 11: the total number of matched gram occurrences in
+// trajectories passing the count bound. When the bound is vacuous the
+// verification must consider every position of every trajectory, so the
+// total symbol count is returned.
+func (gi *QGramIndex) CandidatePositions(q []traj.Symbol, tau float64) int {
+	need := float64(len(q)-gi.q+1) - tau*float64(gi.q)
+	if need <= 0 || len(q) < gi.q {
+		var total int
+		for id := range gi.ds.Trajs {
+			total += len(gi.ds.Trajs[id].Path)
+		}
+		return total
+	}
+	counts := make(map[int32]int32)
+	neigh := make([][]traj.Symbol, len(q))
+	for i, sym := range q {
+		neigh[i] = gi.costs.Neighbors(sym, nil)
+	}
+	var expand func(pos, depth int, k gramKey)
+	expand = func(pos, depth int, k gramKey) {
+		if depth == gi.q {
+			if pl, ok := gi.grams[k]; ok {
+				for i, id := range pl.ids {
+					counts[id] += pl.counts[i]
+				}
+			}
+			return
+		}
+		for _, b := range neigh[pos+depth] {
+			k[depth] = b
+			expand(pos, depth+1, k)
+		}
+	}
+	for pos := 0; pos+gi.q <= len(q); pos++ {
+		expand(pos, 0, gi.key(nil))
+	}
+	var total int
+	for _, h := range counts {
+		if float64(h) >= need {
+			total += int(h)
+		}
+	}
+	return total
+}
+
+func sortMatches(ms []traj.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.T < b.T
+	})
+}

@@ -1,0 +1,239 @@
+// Package core assembles the paper's primary contribution: the
+// filter-and-verify subtrajectory similarity search engine of Algorithm 2.
+// A query (Q, wed, τ) is answered by (1) choosing an optimised
+// τ-subsequence with MinCand, (2) generating candidates from the inverted
+// index over the substitution neighbourhoods, and (3) verifying candidates
+// locally with bidirectional tries. Temporal constraints (§4.3) are
+// supported both as a candidate-level pre-filter (TF) and as exact
+// post-verification checks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"subtraj/internal/filter"
+	"subtraj/internal/index"
+	"subtraj/internal/traj"
+	"subtraj/internal/verify"
+	"subtraj/internal/wed"
+)
+
+// Engine is an immutable-once-built search engine over one dataset and one
+// cost model. Building is O(total symbols); queries never mutate shared
+// state, so an Engine is safe for concurrent readers (the single-threaded
+// evaluation never relies on this).
+type Engine struct {
+	ds    *traj.Dataset
+	inv   *index.Inverted
+	costs wed.FilterCosts
+
+	// BuildTime records index construction time (Table 6).
+	BuildTime time.Duration
+
+	temporalBuilt bool
+}
+
+// NewEngine indexes the dataset.
+func NewEngine(ds *traj.Dataset, costs wed.FilterCosts) *Engine {
+	start := time.Now()
+	inv := index.Build(ds)
+	return &Engine{ds: ds, inv: inv, costs: costs, BuildTime: time.Since(start)}
+}
+
+// NewEngineWithIndex wraps a prebuilt index (used by dataset-size sweeps
+// that share one index build).
+func NewEngineWithIndex(ds *traj.Dataset, inv *index.Inverted, costs wed.FilterCosts) *Engine {
+	return &Engine{ds: ds, inv: inv, costs: costs}
+}
+
+// Dataset returns the indexed dataset.
+func (e *Engine) Dataset() *traj.Dataset { return e.ds }
+
+// Index returns the inverted index.
+func (e *Engine) Index() *index.Inverted { return e.inv }
+
+// Costs returns the cost model.
+func (e *Engine) Costs() wed.FilterCosts { return e.costs }
+
+// Append indexes one more trajectory (incremental update, §4.1).
+func (e *Engine) Append(t traj.Trajectory) int32 {
+	id := e.ds.Add(t)
+	e.inv.Append(id, e.ds.Get(id))
+	e.temporalBuilt = false // departure-sorted postings are stale
+	return id
+}
+
+// ensureTemporalIndex builds the departure-sorted postings on first use
+// (and after appends invalidate them).
+func (e *Engine) ensureTemporalIndex() {
+	if !e.temporalBuilt {
+		e.inv.BuildTemporal()
+		e.temporalBuilt = true
+	}
+}
+
+// QueryStats instruments one query with the Table 4 breakdown and the
+// filtering/verification metrics of §6.4.
+type QueryStats struct {
+	// MinCandTime, LookupTime, VerifyTime decompose the query (Table 4).
+	MinCandTime time.Duration
+	LookupTime  time.Duration
+	VerifyTime  time.Duration
+	// SubseqLen is |Q'|.
+	SubseqLen int
+	// CSum is c(Q') ≥ τ.
+	CSum float64
+	// Candidates is |C|, the verified candidate count (Figure 11).
+	Candidates int
+	// Verify carries UPR/CMR/TUR counters (Table 5).
+	Verify verify.Stats
+}
+
+// TemporalMode selects the §4.3 constraint form.
+type TemporalMode uint8
+
+const (
+	// TemporalNone applies no temporal constraint.
+	TemporalNone TemporalMode = iota
+	// TemporalOverlap keeps matches with [T_s, T_t] ∩ I ≠ ∅.
+	TemporalOverlap
+	// TemporalContain keeps matches with [T_s, T_t] ⊆ I.
+	TemporalContain
+	// TemporalDeparture keeps matches of trajectories departing inside
+	// I (T_1 ∈ I). Its pre-filter is the binary search on
+	// departure-sorted postings lists that §4.3 describes.
+	TemporalDeparture
+)
+
+// Query bundles the search arguments of Definition 3 plus options.
+type Query struct {
+	Q   []traj.Symbol
+	Tau float64
+	// Verify selects the verification mode/ablations; zero value = BT.
+	Verify verify.Options
+	// Temporal constrains matches to the window [Lo, Hi] under Mode.
+	Temporal struct {
+		Mode   TemporalMode
+		Lo, Hi float64
+		// DisablePrefilter skips the candidate-level interval prune
+		// (the paper's "no-TF" configuration of Figure 12), checking
+		// the constraint only after verification.
+		DisablePrefilter bool
+	}
+}
+
+// ErrEmptyQuery is returned for zero-length queries.
+var ErrEmptyQuery = errors.New("core: empty query")
+
+// Search answers the subtrajectory similarity search of Definition 3 with
+// default options.
+func (e *Engine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) {
+	res, _, err := e.SearchQuery(Query{Q: q, Tau: tau})
+	return res, err
+}
+
+// SearchQuery answers a fully specified query and returns instrumentation.
+func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
+	if len(qr.Q) == 0 {
+		return nil, nil, ErrEmptyQuery
+	}
+	if wed.SumIns(e.costs, qr.Q) < qr.Tau {
+		// Guard of §2.3: otherwise the empty subtrajectory "matches"
+		// and the problem is ill-posed.
+		return nil, nil, fmt.Errorf("core: τ = %g exceeds wed(ε, Q) = %g; query would match empty subtrajectories", qr.Tau, wed.SumIns(e.costs, qr.Q))
+	}
+	stats := &QueryStats{}
+
+	start := time.Now()
+	plan, err := filter.BuildPlan(e.costs, e.inv, qr.Q, qr.Tau)
+	stats.MinCandTime = time.Since(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.SubseqLen = len(plan.Subseq)
+	stats.CSum = plan.CSum
+
+	start = time.Now()
+	var cands []filter.Candidate
+	temporal := qr.Temporal.Mode != TemporalNone
+	switch {
+	case temporal && !qr.Temporal.DisablePrefilter && qr.Temporal.Mode == TemporalDeparture:
+		e.ensureTemporalIndex()
+		cands = plan.CandidatesByDeparture(e.inv, qr.Temporal.Lo, qr.Temporal.Hi, nil)
+	case temporal && !qr.Temporal.DisablePrefilter:
+		cands = plan.CandidatesInWindow(e.inv, qr.Temporal.Lo, qr.Temporal.Hi, nil)
+	default:
+		cands = plan.Candidates(e.inv, nil)
+	}
+	stats.LookupTime = time.Since(start)
+	stats.Candidates = len(cands)
+
+	start = time.Now()
+	ver := verify.New(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	for _, c := range cands {
+		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
+	}
+	res := ver.Results()
+	if temporal {
+		res = e.applyTemporal(res, qr.Temporal.Mode, qr.Temporal.Lo, qr.Temporal.Hi)
+	}
+	stats.VerifyTime = time.Since(start)
+	stats.Verify = ver.Stats
+	stats.Verify.Matches = len(res)
+	return res, stats, nil
+}
+
+// applyTemporal keeps matches satisfying the exact constraint on the
+// matched span's timestamps.
+func (e *Engine) applyTemporal(res []traj.Match, mode TemporalMode, lo, hi float64) []traj.Match {
+	out := res[:0]
+	for _, m := range res {
+		ts, te, ok := e.matchSpan(m)
+		if !ok {
+			continue // no temporal data: cannot satisfy a temporal constraint
+		}
+		keep := false
+		switch mode {
+		case TemporalOverlap:
+			keep = ts <= hi && te >= lo
+		case TemporalContain:
+			keep = ts >= lo && te <= hi
+		case TemporalDeparture:
+			dep, ok := e.ds.Get(m.ID).Departure()
+			keep = ok && dep >= lo && dep <= hi
+		}
+		if keep {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// matchSpan returns the [T_s, T_t] interval of a match. Under edge
+// representation the matched edges span vertices S..T+1.
+func (e *Engine) matchSpan(m traj.Match) (lo, hi float64, ok bool) {
+	t := e.ds.Get(m.ID)
+	if len(t.Times) == 0 {
+		return 0, 0, false
+	}
+	s, x := int(m.S), int(m.T)
+	if e.ds.Rep == traj.EdgeRep {
+		x++
+	}
+	if x >= len(t.Times) {
+		x = len(t.Times) - 1
+	}
+	return t.Times[s], t.Times[x], true
+}
+
+// SumFilterCost returns c(Q) = Σ c(q): the scale used to derive τ from the
+// paper's τ_ratio (τ := τ_ratio · Σ c(q)).
+func SumFilterCost(costs wed.FilterCosts, q []traj.Symbol) float64 {
+	var s float64
+	for _, sym := range q {
+		s += costs.FilterCost(sym)
+	}
+	return s
+}

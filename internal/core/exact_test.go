@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/core"
+	"subtraj/internal/testutil"
+	"subtraj/internal/traj"
+)
+
+// bruteExact enumerates exact occurrences by scanning.
+func bruteExact(ds *traj.Dataset, q []traj.Symbol) []traj.MatchKey {
+	var out []traj.MatchKey
+	for id := range ds.Trajs {
+		p := ds.Trajs[id].Path
+	outer:
+		for s := 0; s+len(q) <= len(p); s++ {
+			for i := range q {
+				if p[s+i] != q[i] {
+					continue outer
+				}
+			}
+			out = append(out, traj.MatchKey{ID: int32(id), S: int32(s), T: int32(s + len(q) - 1)})
+		}
+	}
+	return out
+}
+
+func TestSearchExactMatchesBruteForce(t *testing.T) {
+	env := testutil.NewEnv(61, 40, 25)
+	m := env.Models()[0]
+	eng := core.NewEngine(m.DS, m.Costs)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		qlen := 2 + rng.Intn(10)
+		q := env.Query(m, qlen)
+		got, err := eng.SearchExact(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteExact(m.DS, q)
+		if len(got) != len(want) {
+			t.Fatalf("exact count %d != %d", len(got), len(want))
+		}
+		wantSet := map[traj.MatchKey]bool{}
+		for _, w := range want {
+			wantSet[w] = true
+		}
+		for _, g := range got {
+			if !wantSet[g.Key()] {
+				t.Fatalf("spurious exact match %+v", g)
+			}
+			if g.WED != 0 {
+				t.Fatalf("exact match with wed %v", g.WED)
+			}
+		}
+		n, err := eng.CountExact(q)
+		if err != nil || n != len(want) {
+			t.Fatalf("CountExact %d != %d (%v)", n, len(want), err)
+		}
+	}
+	if _, err := eng.SearchExact(nil); err == nil {
+		t.Fatal("empty exact query accepted")
+	}
+}
+
+func TestSearchExactRandomStrings(t *testing.T) {
+	// Adversarial: arbitrary (non-path) queries, including symbols
+	// absent from the dataset.
+	rng := rand.New(rand.NewSource(62))
+	rc := testutil.NewRandomCosts(rng, 6, 0)
+	ds := testutil.RandomDataset(rng, 6, 30, 15)
+	eng := core.NewEngine(ds, rc)
+	for trial := 0; trial < 50; trial++ {
+		qlen := 1 + rng.Intn(6)
+		q := make([]traj.Symbol, qlen)
+		for i := range q {
+			q[i] = traj.Symbol(rng.Intn(8)) // 6,7 never occur
+		}
+		got, err := eng.SearchExact(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteExact(ds, q)
+		if len(got) != len(want) {
+			t.Fatalf("exact count %d != %d for %v", len(got), len(want), q)
+		}
+	}
+}

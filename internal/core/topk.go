@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// SearchTopK returns, for the k data trajectories most similar to the
+// query, each trajectory's best subtrajectory match (smallest WED, ties
+// broken by the shortest span), ordered by ascending WED. This is the
+// top-k protocol of the paper's effectiveness experiments (§6.2.1,
+// Table 3).
+//
+// The search grows the threshold geometrically until k trajectories are
+// found or the feasibility ceiling τ ≤ min(c(Q), wed(ε, Q)) is reached —
+// beyond that ceiling the subsequence filter cannot prune (no
+// τ-subsequence exists), which bounds the similarity radius this index
+// can answer exactly; trajectories farther away than the ceiling are not
+// reported.
+func (e *Engine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
+	if len(q) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	ceiling := SumFilterCost(e.costs, q)
+	if s := wed.SumIns(e.costs, q); s < ceiling {
+		ceiling = s
+	}
+	// Strict < in Definition 2 means τ = ceiling exactly may still be
+	// feasible; nudge below to keep the filter applicable.
+	ceiling *= 1 - 1e-12
+
+	tau := ceiling / 64
+	for {
+		res, _, err := e.SearchQuery(Query{Q: q, Tau: tau})
+		if err != nil {
+			return nil, err
+		}
+		best := bestPerTrajectoryOrdered(res)
+		if len(best) >= k {
+			return best[:k], nil
+		}
+		if tau >= ceiling {
+			return best, nil // fewer than k trajectories inside the searchable radius
+		}
+		tau *= 4
+		if tau > ceiling {
+			tau = ceiling
+		}
+	}
+}
+
+// bestPerTrajectoryOrdered reduces matches to one per trajectory and
+// orders them by (WED, span length, ID, S).
+func bestPerTrajectoryOrdered(ms []traj.Match) []traj.Match {
+	best := make(map[int32]traj.Match)
+	for _, m := range ms {
+		b, ok := best[m.ID]
+		if !ok || m.WED < b.WED ||
+			(m.WED == b.WED && (m.T-m.S < b.T-b.S ||
+				(m.T-m.S == b.T-b.S && (m.S < b.S || (m.S == b.S && m.T < b.T))))) {
+			best[m.ID] = m
+		}
+	}
+	out := make([]traj.Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.WED != b.WED {
+			return a.WED < b.WED
+		}
+		la, lb := a.T-a.S, b.T-b.S
+		if la != lb {
+			return la < lb
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.T < b.T
+	})
+	return out
+}

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"subtraj/internal/baselines"
+	"subtraj/internal/core"
+	"subtraj/internal/testutil"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// oracleTopK computes the reference top-k: exhaustive per-trajectory best
+// matches inside the engine's searchable radius, sorted like SearchTopK.
+func oracleTopK(costs wed.FilterCosts, ds *traj.Dataset, q []traj.Symbol, k int) []traj.Match {
+	ceiling := core.SumFilterCost(costs, q)
+	if s := wed.SumIns(costs, q); s < ceiling {
+		ceiling = s
+	}
+	ceiling *= 1 - 1e-12
+	all := baselines.PlainSW(costs, ds, q, ceiling).Matches
+	best := map[int32]traj.Match{}
+	for _, m := range all {
+		b, ok := best[m.ID]
+		if !ok || m.WED < b.WED ||
+			(m.WED == b.WED && (m.T-m.S < b.T-b.S ||
+				(m.T-m.S == b.T-b.S && (m.S < b.S || (m.S == b.S && m.T < b.T))))) {
+			best[m.ID] = m
+		}
+	}
+	flat := make([]traj.Match, 0, len(best))
+	for _, m := range best {
+		flat = append(flat, m)
+	}
+	// Same ordering as SearchTopK.
+	for i := 0; i < len(flat); i++ {
+		for j := i + 1; j < len(flat); j++ {
+			if topKLess(flat[j], flat[i]) {
+				flat[i], flat[j] = flat[j], flat[i]
+			}
+		}
+	}
+	if len(flat) > k {
+		flat = flat[:k]
+	}
+	return flat
+}
+
+func topKLess(a, b traj.Match) bool {
+	if a.WED != b.WED {
+		return a.WED < b.WED
+	}
+	la, lb := a.T-a.S, b.T-b.S
+	if la != lb {
+		return la < lb
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.T < b.T
+}
+
+func TestSearchTopKMatchesOracle(t *testing.T) {
+	env := testutil.NewEnv(31, 35, 22)
+	for _, m := range env.Models() {
+		eng := core.NewEngine(m.DS, m.Costs)
+		q := env.Query(m, 8)
+		for _, k := range []int{1, 3, 10, 1000} {
+			got, err := eng.SearchTopK(q, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", m.Name, k, err)
+			}
+			want := oracleTopK(m.Costs, m.DS, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: got %d results, want %d", m.Name, k, len(got), len(want))
+			}
+			for i := range got {
+				// WED values must agree; exact (ID,S,T) may differ only
+				// under exact WED ties, which the shared ordering rules
+				// out.
+				if math.Abs(got[i].WED-want[i].WED) > 1e-9*(1+want[i].WED) {
+					t.Fatalf("%s k=%d rank %d: wed %v != %v", m.Name, k, i, got[i].WED, want[i].WED)
+				}
+				if got[i].Key() != want[i].Key() {
+					t.Fatalf("%s k=%d rank %d: %+v != %+v", m.Name, k, i, got[i], want[i])
+				}
+			}
+			// One result per trajectory.
+			seen := map[int32]bool{}
+			for _, r := range got {
+				if seen[r.ID] {
+					t.Fatalf("%s: duplicate trajectory %d in top-k", m.Name, r.ID)
+				}
+				seen[r.ID] = true
+			}
+		}
+	}
+}
+
+func TestSearchTopKEdgeCases(t *testing.T) {
+	env := testutil.NewEnv(32, 10, 12)
+	m := env.Models()[0]
+	eng := core.NewEngine(m.DS, m.Costs)
+	q := env.Query(m, 5)
+	if res, err := eng.SearchTopK(q, 0); err != nil || res != nil {
+		t.Fatalf("k=0: %v, %v", res, err)
+	}
+	if _, err := eng.SearchTopK(nil, 3); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// k=1 must return the globally best match, which for a sampled
+	// query is an exact occurrence.
+	res, err := eng.SearchTopK(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].WED != 0 {
+		t.Fatalf("k=1: %+v", res)
+	}
+}

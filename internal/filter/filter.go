@@ -1,0 +1,206 @@
+// Package filter implements the subsequence-filtering principle of §3: the
+// per-symbol filtering costs c(q), the substitution neighbourhoods B(q),
+// the MinCand candidate-minimisation problem (Definition 5) solved by the
+// primal–dual greedy 2-approximation of Algorithm 1, and candidate
+// generation from the inverted index (the loop of Algorithm 2).
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"subtraj/internal/index"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// Item is one chosen element of the τ-subsequence Q': the symbol and its
+// position iq in Q (0-based; the paper's iq is 1-based).
+type Item struct {
+	Sym traj.Symbol
+	Pos int32
+}
+
+// Candidate identifies a promising position: trajectory id, position j in
+// P^(id) with P[j] ∈ B(Q[iq]), and the query position iq (all 0-based).
+type Candidate struct {
+	ID  int32
+	Pos int32
+	IQ  int32
+}
+
+// Plan is the query-time filtering state: the chosen τ-subsequence and the
+// precomputed neighbourhoods/statistics, reusable for candidate generation
+// and reporting.
+type Plan struct {
+	// Subseq is the chosen τ-subsequence Q' in query order.
+	Subseq []Item
+	// Neighbors[i] is B(Subseq[i].Sym).
+	Neighbors [][]traj.Symbol
+	// CSum is c(Q') = Σ c(q).
+	CSum float64
+	// PredictedCandidates is the MinCand objective value: Σ_{q∈Q'}
+	// Σ_{b∈B(q)} n(b).
+	PredictedCandidates int
+}
+
+// ErrInfeasible is returned when no subsequence of Q can reach the
+// threshold: c(Q) < τ. The paper requires Σ ins(q) ≥ τ for a meaningful
+// query; with a suitable η this guarantees feasibility (see §3.1, "Setting
+// η to τ/|Q| guarantees that a τ-subsequence can be found").
+type ErrInfeasible struct {
+	CQ, Tau float64
+}
+
+func (e ErrInfeasible) Error() string {
+	return fmt.Sprintf("filter: no τ-subsequence exists: c(Q) = %g < τ = %g (increase η or lower τ)", e.CQ, e.Tau)
+}
+
+// BuildPlan chooses a τ-subsequence of q minimising the candidate count
+// via Algorithm 1 and precomputes the neighbourhoods. costs provides c(q)
+// and B(q); inv provides the frequencies n(b).
+func BuildPlan(costs wed.FilterCosts, inv *index.Inverted, q []traj.Symbol, tau float64) (*Plan, error) {
+	n := len(q)
+	c := make([]float64, n)
+	neighbors := make([][]traj.Symbol, n)
+	nq := make([]float64, n) // N_q: candidate volume of choosing position i
+	var cTotal float64
+	for i, sym := range q {
+		c[i] = costs.FilterCost(sym)
+		neighbors[i] = costs.Neighbors(sym, nil)
+		var vol int
+		for _, b := range neighbors[i] {
+			vol += inv.Freq(b)
+		}
+		nq[i] = float64(vol)
+		cTotal += c[i]
+	}
+	if cTotal < tau {
+		return nil, ErrInfeasible{CQ: cTotal, Tau: tau}
+	}
+	chosen := MinCand(nq, c, tau)
+	plan := &Plan{}
+	for _, i := range chosen {
+		plan.Subseq = append(plan.Subseq, Item{Sym: q[i], Pos: int32(i)})
+		plan.Neighbors = append(plan.Neighbors, neighbors[i])
+		plan.CSum += c[i]
+		plan.PredictedCandidates += int(nq[i])
+	}
+	return plan, nil
+}
+
+// MinCand is the primal–dual greedy of Algorithm 1 for the minimum
+// candidate problem: select positions S ⊆ [n] minimising Σ N_i subject to
+// Σ c_i ≥ tau. It returns the chosen positions in ascending order. The
+// approximation ratio is 2 (Proposition 3); when all c_i are equal the
+// result is optimal (Proposition 4). The caller guarantees Σ c_i ≥ tau.
+func MinCand(nq, c []float64, tau float64) []int {
+	n := len(nq)
+	w := make([]float64, n) // w_q duals
+	inQ := make([]bool, n)  // chosen flags
+	var chosen []int
+	cSum := 0.0
+	for cSum < tau {
+		// Residual demand.
+		res := tau - cSum
+		// Pick q* = argmin v_q = (N_q - w_q) / min(c_q, residual).
+		best := -1
+		bestV := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if inQ[i] {
+				continue
+			}
+			den := c[i]
+			if res < den {
+				den = res
+			}
+			if den <= 0 {
+				// c_i = 0 contributes nothing toward the constraint;
+				// never select it.
+				continue
+			}
+			v := (nq[i] - w[i]) / den
+			if v < bestV {
+				bestV, best = v, i
+			}
+		}
+		if best < 0 {
+			// All remaining items have zero filtering cost; the caller's
+			// feasibility check makes this unreachable, but guard anyway.
+			break
+		}
+		// Raise duals: w_q += min(c_q, residual) · v_{q*}.
+		for i := 0; i < n; i++ {
+			if inQ[i] {
+				continue
+			}
+			den := c[i]
+			if res < den {
+				den = res
+			}
+			w[i] += den * bestV
+		}
+		inQ[best] = true
+		chosen = append(chosen, best)
+		cSum += c[best]
+	}
+	// Ascending positions (the greedy may pick out of order).
+	sortInts(chosen)
+	return chosen
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: |Q'| is tiny (a few items).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Candidates generates the candidate set of Algorithm 2 (lines 3–6):
+// every posting of every neighbour of every chosen item. The result may
+// reference the same (id, pos) under different iq — those are distinct
+// candidates by construction (see the Remark under Definition 5).
+func (p *Plan) Candidates(inv *index.Inverted, dst []Candidate) []Candidate {
+	for i, it := range p.Subseq {
+		for _, b := range p.Neighbors[i] {
+			for _, pos := range inv.Postings(b) {
+				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
+			}
+		}
+	}
+	return dst
+}
+
+// CandidatesInWindow is Candidates restricted to trajectories whose
+// [departure, arrival] interval overlaps [lo, hi] (the TF pre-filter of
+// §4.3 and Figure 12).
+func (p *Plan) CandidatesInWindow(inv *index.Inverted, lo, hi float64, dst []Candidate) []Candidate {
+	for i, it := range p.Subseq {
+		for _, b := range p.Neighbors[i] {
+			for _, pos := range inv.Postings(b) {
+				if !inv.IntervalOverlaps(pos.ID, lo, hi) {
+					continue
+				}
+				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
+			}
+		}
+	}
+	return dst
+}
+
+// CandidatesByDeparture generates candidates only from trajectories whose
+// departure time lies in [lo, hi], using binary search on the
+// departure-sorted postings (§4.3's sorted-postings optimisation). The
+// caller must have built the temporal order (index.BuildTemporal).
+func (p *Plan) CandidatesByDeparture(inv *index.Inverted, lo, hi float64, dst []Candidate) []Candidate {
+	for i, it := range p.Subseq {
+		for _, b := range p.Neighbors[i] {
+			for _, pos := range inv.PostingsInWindow(b, lo, hi) {
+				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
+			}
+		}
+	}
+	return dst
+}

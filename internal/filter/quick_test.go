@@ -1,0 +1,93 @@
+package filter_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subtraj/internal/filter"
+)
+
+// TestMinCandQuickProperties drives MinCand with quick-generated inputs:
+// the greedy must always satisfy its constraint, never choose duplicates,
+// and never choose zero-cost items.
+func TestMinCandQuickProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func(rawN []uint16, rawC []uint16, tauFrac float64) bool {
+		n := len(rawN)
+		if len(rawC) < n {
+			n = len(rawC)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 16 {
+			n = 16
+		}
+		nq := make([]float64, n)
+		c := make([]float64, n)
+		var total float64
+		for i := 0; i < n; i++ {
+			nq[i] = float64(rawN[i])
+			c[i] = float64(rawC[i]) / 1000
+			total += c[i]
+		}
+		if math.IsNaN(tauFrac) || math.IsInf(tauFrac, 0) {
+			return true
+		}
+		tauFrac = math.Mod(math.Abs(tauFrac), 1) // frac in [0,1)
+		tau := tauFrac * total
+		chosen := filter.MinCand(nq, c, tau)
+		var cs float64
+		seen := map[int]bool{}
+		for _, i := range chosen {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+			if c[i] == 0 {
+				return false // zero-cost items must never be chosen
+			}
+			cs += c[i]
+		}
+		return cs >= tau
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinCandGreedyDominatedBySingletons: whenever one item alone covers
+// τ, the greedy result must not be worse than twice the best singleton
+// (a sharper observable consequence of the 2-approximation).
+func TestMinCandGreedyVsSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(12)
+		nq := make([]float64, n)
+		c := make([]float64, n)
+		for i := range nq {
+			nq[i] = float64(rng.Intn(100)) + 1
+			c[i] = rng.Float64()*4 + 0.1
+		}
+		tau := c[rng.Intn(n)] * rng.Float64() // some singleton is feasible
+		bestSingle := -1.0
+		for i := range c {
+			if c[i] >= tau && (bestSingle < 0 || nq[i] < bestSingle) {
+				bestSingle = nq[i]
+			}
+		}
+		if bestSingle < 0 {
+			continue
+		}
+		chosen := filter.MinCand(nq, c, tau)
+		var obj float64
+		for _, i := range chosen {
+			obj += nq[i]
+		}
+		if obj > 2*bestSingle+1e-9 {
+			t.Fatalf("greedy %v > 2x best singleton %v (nq=%v c=%v tau=%v)", obj, bestSingle, nq, c, tau)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package geo provides small 2-D geometry primitives used by the road
+// network model, the spatial indexes, and the coordinate-aware similarity
+// functions (EDR, ERP, DTW, ...).
+//
+// Coordinates are abstract planar coordinates; the synthetic workloads use
+// metres, so Euclidean distance is the ground distance everywhere.
+package geo
+
+import "math"
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparison-only callers (kd-tree search, HMM emission).
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Norm returns the Euclidean norm of p seen as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Lerp linearly interpolates between p and q; t=0 gives p, t=1 gives q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	Min, Max Point
+}
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Expand grows the rectangle to include p.
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.Min.X {
+		r.Min.X = p.X
+	}
+	if p.Y < r.Min.Y {
+		r.Min.Y = p.Y
+	}
+	if p.X > r.Max.X {
+		r.Max.X = p.X
+	}
+	if p.Y > r.Max.Y {
+		r.Max.Y = p.Y
+	}
+	return r
+}
+
+// Bound returns the bounding rectangle of the points. It panics on an empty
+// slice, because an empty bound has no meaningful zero value.
+func Bound(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geo: Bound of empty point set")
+	}
+	r := Rect{pts[0], pts[0]}
+	for _, p := range pts[1:] {
+		r = r.Expand(p)
+	}
+	return r
+}
+
+// Dist2ToRect returns the squared distance from p to the rectangle (zero if
+// p is inside). Used for kd-tree pruning.
+func Dist2ToRect(p Point, r Rect) float64 {
+	dx := axisDist(p.X, r.Min.X, r.Max.X)
+	dy := axisDist(p.Y, r.Min.Y, r.Max.Y)
+	return dx*dx + dy*dy
+}
+
+func axisDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// SegmentDist returns the distance from point p to segment ab, and the
+// parameter t in [0,1] of the closest point on the segment.
+func SegmentDist(p, a, b Point) (dist, t float64) {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return p.Dist(a), 0
+	}
+	t = ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Lerp(b, t)), t
+}

@@ -1,0 +1,120 @@
+package geo_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subtraj/internal/geo"
+)
+
+func TestDistProperties(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if !finite(ax, ay, bx, by) {
+			return true
+		}
+		a := geo.Point{X: ax, Y: ay}
+		b := geo.Point{X: bx, Y: by}
+		d := a.Dist(b)
+		if d < 0 || d != b.Dist(a) {
+			return false
+		}
+		// Dist2 consistency (allow float slack for huge magnitudes).
+		d2 := a.Dist2(b)
+		return math.Abs(d*d-d2) <= 1e-9*(1+d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func finite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := geo.Point{X: rng.NormFloat64() * 100, Y: rng.NormFloat64() * 100}
+		b := geo.Point{X: rng.NormFloat64() * 100, Y: rng.NormFloat64() * 100}
+		c := geo.Point{X: rng.NormFloat64() * 100, Y: rng.NormFloat64() * 100}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := geo.Point{X: 3, Y: 4}
+	b := geo.Point{X: 1, Y: 2}
+	if got := a.Add(b); got != (geo.Point{X: 4, Y: 6}) {
+		t.Errorf("Add: %+v", got)
+	}
+	if got := a.Sub(b); got != (geo.Point{X: 2, Y: 2}) {
+		t.Errorf("Sub: %+v", got)
+	}
+	if got := a.Scale(2); got != (geo.Point{X: 6, Y: 8}) {
+		t.Errorf("Scale: %+v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm: %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0): %+v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1): %+v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 5}, {X: -2, Y: 3}, {X: 4, Y: -1}}
+	r := geo.Bound(pts)
+	if r.Min.X != -2 || r.Min.Y != -1 || r.Max.X != 4 || r.Max.Y != 5 {
+		t.Fatalf("bound %+v", r)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("bound does not contain %+v", p)
+		}
+	}
+	if r.Contains(geo.Point{X: 10, Y: 0}) {
+		t.Fatal("contains external point")
+	}
+	if d := geo.Dist2ToRect(geo.Point{X: 0, Y: 0}, r); d != 0 {
+		t.Fatalf("inside point dist2 %v", d)
+	}
+	if d := geo.Dist2ToRect(geo.Point{X: 5, Y: 6}, r); d != 2 {
+		t.Fatalf("corner dist2 %v, want 2", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bound(nil) must panic")
+		}
+	}()
+	geo.Bound(nil)
+}
+
+func TestSegmentDist(t *testing.T) {
+	a := geo.Point{X: 0, Y: 0}
+	b := geo.Point{X: 10, Y: 0}
+	if d, tt := geo.SegmentDist(geo.Point{X: 5, Y: 3}, a, b); d != 3 || tt != 0.5 {
+		t.Errorf("mid: d=%v t=%v", d, tt)
+	}
+	if d, tt := geo.SegmentDist(geo.Point{X: -4, Y: 3}, a, b); d != 5 || tt != 0 {
+		t.Errorf("before: d=%v t=%v", d, tt)
+	}
+	if d, tt := geo.SegmentDist(geo.Point{X: 13, Y: 4}, a, b); d != 5 || tt != 1 {
+		t.Errorf("after: d=%v t=%v", d, tt)
+	}
+	// Degenerate segment.
+	if d, _ := geo.SegmentDist(geo.Point{X: 3, Y: 4}, a, a); d != 5 {
+		t.Errorf("degenerate: d=%v", d)
+	}
+}

@@ -1,0 +1,119 @@
+// Package index implements the inverted index of §4.1: a postings list per
+// symbol (vertex or edge ID) recording every (trajectory ID, position)
+// occurrence, plus the optional temporal sort orders of §4.3 that let the
+// engine skip postings outside a query time interval by binary search.
+package index
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+)
+
+// Posting records one occurrence of a symbol: trajectory ID and 0-based
+// position j with P^(id)[j] = symbol.
+type Posting struct {
+	ID  int32
+	Pos int32
+}
+
+// Inverted is the inverted index over a dataset. Postings lists are keyed
+// by symbol; list order is insertion order (ascending ID, then position),
+// which Build guarantees and Append preserves for growing datasets.
+type Inverted struct {
+	lists map[traj.Symbol][]Posting
+	// departures[id] caches the trajectory departure time for the
+	// temporal pre-filter; empty when the dataset has no timestamps.
+	departures []float64
+	arrivals   []float64
+	// byDeparture, per symbol, holds the postings re-sorted by the
+	// owning trajectory's departure time (built on demand by
+	// BuildTemporal).
+	byDeparture map[traj.Symbol][]Posting
+	numPostings int
+}
+
+// Build indexes every trajectory of the dataset.
+func Build(ds *traj.Dataset) *Inverted {
+	inv := &Inverted{lists: make(map[traj.Symbol][]Posting)}
+	for id := range ds.Trajs {
+		inv.Append(int32(id), &ds.Trajs[id])
+	}
+	return inv
+}
+
+// Append adds one trajectory's postings (the incremental update of §4.1).
+// IDs must be appended in increasing order to keep lists sorted.
+func (inv *Inverted) Append(id int32, t *traj.Trajectory) {
+	for pos, sym := range t.Path {
+		inv.lists[sym] = append(inv.lists[sym], Posting{ID: id, Pos: int32(pos)})
+	}
+	inv.numPostings += len(t.Path)
+	lo, hi, ok := t.Interval()
+	if !ok {
+		lo, hi = 0, 0
+	}
+	inv.departures = append(inv.departures, lo)
+	inv.arrivals = append(inv.arrivals, hi)
+	inv.byDeparture = nil // invalidate the temporal order
+}
+
+// Postings returns the postings list L_q. Shared; do not modify.
+func (inv *Inverted) Postings(q traj.Symbol) []Posting { return inv.lists[q] }
+
+// Freq returns n(q): the number of occurrences of q in the dataset
+// (counted once per position, as required by the MinCand objective).
+func (inv *Inverted) Freq(q traj.Symbol) int { return len(inv.lists[q]) }
+
+// NumPostings returns the total number of postings (an index-size metric).
+func (inv *Inverted) NumPostings() int { return inv.numPostings }
+
+// NumSymbols returns the number of distinct symbols with postings.
+func (inv *Inverted) NumSymbols() int { return len(inv.lists) }
+
+// Interval returns the trajectory's [departure, arrival] span recorded at
+// append time.
+func (inv *Inverted) Interval(id int32) (lo, hi float64) {
+	return inv.departures[id], inv.arrivals[id]
+}
+
+// BuildTemporal materialises, for every symbol, a postings order sorted by
+// the owning trajectory's departure time. Subsequent PostingsInWindow
+// calls answer temporal lookups by binary search (§4.3).
+func (inv *Inverted) BuildTemporal() {
+	inv.byDeparture = make(map[traj.Symbol][]Posting, len(inv.lists))
+	for sym, list := range inv.lists {
+		cp := make([]Posting, len(list))
+		copy(cp, list)
+		sort.SliceStable(cp, func(i, j int) bool {
+			return inv.departures[cp[i].ID] < inv.departures[cp[j].ID]
+		})
+		inv.byDeparture[sym] = cp
+	}
+}
+
+// PostingsInWindow returns the postings of q whose trajectory departure
+// time lies in [lo, hi], using the temporal order (BuildTemporal must have
+// been called). The returned slice is a sub-slice of the index; do not
+// modify.
+//
+// Note the window is over departure times: a trajectory that departs
+// before lo but is still driving inside the window is *not* returned, so
+// callers use this only for constraints of the form [T_1, T_n] ⊆ I; the
+// more permissive overlap constraint uses Postings plus IntervalOverlaps.
+func (inv *Inverted) PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting {
+	list := inv.byDeparture[q]
+	a := sort.Search(len(list), func(i int) bool { return inv.departures[list[i].ID] >= lo })
+	b := sort.Search(len(list), func(i int) bool { return inv.departures[list[i].ID] > hi })
+	if a >= b {
+		return nil
+	}
+	return list[a:b]
+}
+
+// IntervalOverlaps reports whether trajectory id's [departure, arrival]
+// interval intersects [lo, hi] — the candidate-level temporal prune of
+// §4.3.
+func (inv *Inverted) IntervalOverlaps(id int32, lo, hi float64) bool {
+	return inv.departures[id] <= hi && inv.arrivals[id] >= lo
+}

@@ -1,0 +1,145 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"subtraj/internal/traj"
+)
+
+// This file provides compressed persistence for the inverted index:
+// postings lists are delta-encoded (IDs ascend within a list) and written
+// as uvarints, the standard trick for keeping trajectory indexes compact
+// (cf. the paper's Table 6 size discussion and its reference [19] on
+// trajectory index compression). The in-memory representation stays flat
+// for query speed; compression is applied only at the serialisation
+// boundary.
+
+const persistMagic = "SUBTRAJIDX1"
+
+// Save writes the index in compressed form.
+func (inv *Inverted) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	// Trajectory temporal metadata.
+	if err := putUvarint(uint64(len(inv.departures))); err != nil {
+		return err
+	}
+	for i := range inv.departures {
+		if err := putUvarint(math.Float64bits(inv.departures[i])); err != nil {
+			return err
+		}
+		if err := putUvarint(math.Float64bits(inv.arrivals[i])); err != nil {
+			return err
+		}
+	}
+	// Postings lists, sorted by symbol for deterministic output.
+	syms := make([]traj.Symbol, 0, len(inv.lists))
+	for s := range inv.lists {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	if err := putUvarint(uint64(len(syms))); err != nil {
+		return err
+	}
+	for _, s := range syms {
+		list := inv.lists[s]
+		if err := putUvarint(uint64(s)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(list))); err != nil {
+			return err
+		}
+		prevID := int32(0)
+		for _, p := range list {
+			// IDs ascend (Build/Append guarantee); delta-encode them
+			// and store positions raw — both as uvarints.
+			if err := putUvarint(uint64(p.ID - prevID)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(p.Pos)); err != nil {
+				return err
+			}
+			prevID = p.ID
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reads an index written by Save.
+func LoadIndex(r io.Reader) (*Inverted, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: read magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	inv := &Inverted{lists: make(map[traj.Symbol][]Posting)}
+	nTraj, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: trajectory count: %w", err)
+	}
+	inv.departures = make([]float64, nTraj)
+	inv.arrivals = make([]float64, nTraj)
+	for i := range inv.departures {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: departure %d: %w", i, err)
+		}
+		a, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: arrival %d: %w", i, err)
+		}
+		inv.departures[i] = math.Float64frombits(d)
+		inv.arrivals[i] = math.Float64frombits(a)
+	}
+	nSyms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: symbol count: %w", err)
+	}
+	for s := uint64(0); s < nSyms; s++ {
+		sym, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: symbol: %w", err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: list length: %w", err)
+		}
+		list := make([]Posting, 0, n)
+		prevID := int32(0)
+		for i := uint64(0); i < n; i++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: posting delta: %w", err)
+			}
+			pos, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: posting position: %w", err)
+			}
+			id := prevID + int32(d)
+			if id < 0 || int(id) >= int(nTraj) {
+				return nil, fmt.Errorf("index: posting id %d out of range", id)
+			}
+			list = append(list, Posting{ID: id, Pos: int32(pos)})
+			prevID = id
+		}
+		inv.lists[traj.Symbol(sym)] = list
+		inv.numPostings += len(list)
+	}
+	return inv, nil
+}

@@ -1,0 +1,85 @@
+package index_test
+
+import (
+	"bytes"
+	"testing"
+
+	"subtraj/internal/index"
+	"subtraj/internal/testutil"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	env := testutil.NewEnv(71, 40, 20)
+	orig := index.Build(env.V)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := index.LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPostings() != orig.NumPostings() || got.NumSymbols() != orig.NumSymbols() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			got.NumPostings(), got.NumSymbols(), orig.NumPostings(), orig.NumSymbols())
+	}
+	for id := range env.V.Trajs {
+		for _, sym := range env.V.Trajs[id].Path {
+			a, b := orig.Postings(sym), got.Postings(sym)
+			if len(a) != len(b) {
+				t.Fatalf("postings length differs for %d", sym)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("posting %d of %d differs: %+v vs %+v", i, sym, a[i], b[i])
+				}
+			}
+		}
+		glo, ghi := got.Interval(int32(id))
+		olo, ohi := orig.Interval(int32(id))
+		if glo != olo || ghi != ohi {
+			t.Fatalf("interval differs for %d", id)
+		}
+	}
+	// Temporal order must be rebuildable on the loaded index.
+	got.BuildTemporal()
+	for id := range env.V.Trajs {
+		sym := env.V.Trajs[id].Path[0]
+		lo, _ := got.Interval(int32(id))
+		found := false
+		for _, p := range got.PostingsInWindow(sym, lo, lo) {
+			if p.ID == int32(id) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("temporal lookup lost trajectory %d", id)
+		}
+	}
+}
+
+func TestIndexCompression(t *testing.T) {
+	// The compressed form must beat the naive 8-bytes-per-posting
+	// encoding on realistic data (ascending IDs, small positions).
+	env := testutil.NewEnv(72, 60, 30)
+	inv := index.Build(env.V)
+	var buf bytes.Buffer
+	if err := inv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	naive := inv.NumPostings() * 8
+	if buf.Len() >= naive {
+		t.Fatalf("compressed %d B not smaller than naive %d B", buf.Len(), naive)
+	}
+	t.Logf("compression: %d postings, %d B compressed vs %d B naive (%.1f%%)",
+		inv.NumPostings(), buf.Len(), naive, 100*float64(buf.Len())/float64(naive))
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := index.LoadIndex(bytes.NewReader([]byte("NOTANINDEX"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := index.LoadIndex(bytes.NewReader([]byte("SUBTRAJIDX1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))); err == nil {
+		t.Fatal("corrupt varint stream accepted")
+	}
+}

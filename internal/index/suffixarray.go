@@ -1,0 +1,149 @@
+package index
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+)
+
+// PathSuffixArray is a suffix array over the concatenation of all
+// trajectory paths, answering exact subtrajectory (substring) queries in
+// O(|Q| log N) by binary search — the suffix-array indexing route the
+// paper's related work describes for substring search (§7, references
+// [19, 26]). It complements the postings-based Engine.SearchExact: faster
+// for long queries over rare symbols, and independent of symbol
+// frequencies.
+//
+// Trajectories are separated by an implicit sentinel (position gaps), so
+// matches never straddle two trajectories.
+type PathSuffixArray struct {
+	// text is the concatenation of all paths; doc/off map a text offset
+	// back to (trajectory ID, position).
+	text []traj.Symbol
+	// bounds[i] is the start offset of trajectory i in text;
+	// bounds[len] = len(text).
+	bounds []int32
+	sa     []int32
+}
+
+// BuildPathSuffixArray indexes the dataset.
+func BuildPathSuffixArray(ds *traj.Dataset) *PathSuffixArray {
+	s := &PathSuffixArray{}
+	total := ds.TotalSymbols()
+	s.text = make([]traj.Symbol, 0, total)
+	s.bounds = make([]int32, 0, ds.Len()+1)
+	for id := range ds.Trajs {
+		s.bounds = append(s.bounds, int32(len(s.text)))
+		s.text = append(s.text, ds.Trajs[id].Path...)
+	}
+	s.bounds = append(s.bounds, int32(len(s.text)))
+	s.sa = buildSuffixArray(s.text)
+	return s
+}
+
+// buildSuffixArray uses prefix doubling with rank pairs: O(n log² n),
+// fine for in-memory datasets and free of alphabet-size assumptions
+// (vertex IDs are large integers, not bytes).
+func buildSuffixArray(text []traj.Symbol) []int32 {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int32, n)
+	rank := make([]int64, n)
+	tmp := make([]int64, n)
+	for i := range sa {
+		sa[i] = int32(i)
+		rank[i] = int64(text[i])
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int64, int64) {
+			second := int64(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			f1, s1 := key(sa[a])
+			f2, s2 := key(sa[b])
+			if f1 != f2 {
+				return f1 < f2
+			}
+			return s1 < s2
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			f1, s1 := key(sa[i-1])
+			f2, s2 := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if f1 != f2 || s1 != s2 {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == int64(n-1) {
+			break
+		}
+	}
+	return sa
+}
+
+// Lookup returns every exact occurrence of q as (trajectory ID, start
+// position), in no particular order. Occurrences spanning trajectory
+// boundaries are excluded.
+func (s *PathSuffixArray) Lookup(q []traj.Symbol) []Posting {
+	if len(q) == 0 || len(s.text) == 0 {
+		return nil
+	}
+	// Binary search for the first suffix ≥ q and the first > q-prefix.
+	lo := sort.Search(len(s.sa), func(i int) bool {
+		return compareSuffix(s.text, int(s.sa[i]), q) >= 0
+	})
+	hi := sort.Search(len(s.sa), func(i int) bool {
+		return compareSuffix(s.text, int(s.sa[i]), q) > 0
+	})
+	var out []Posting
+	for _, off := range s.sa[lo:hi] {
+		id, pos, ok := s.locate(off, len(q))
+		if ok {
+			out = append(out, Posting{ID: id, Pos: pos})
+		}
+	}
+	return out
+}
+
+// compareSuffix compares text[off:] against q as a prefix: -1 if the
+// suffix is lexicographically before q, 0 if q is a prefix of the suffix,
+// +1 if after.
+func compareSuffix(text []traj.Symbol, off int, q []traj.Symbol) int {
+	for i := 0; i < len(q); i++ {
+		if off+i >= len(text) {
+			return -1 // suffix is a proper prefix of q
+		}
+		if text[off+i] != q[i] {
+			if text[off+i] < q[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// locate maps a text offset to (trajectory, position), rejecting matches
+// that would cross into the next trajectory.
+func (s *PathSuffixArray) locate(off int32, qlen int) (id, pos int32, ok bool) {
+	// bounds is sorted; find the trajectory containing off.
+	i := sort.Search(len(s.bounds)-1, func(i int) bool { return s.bounds[i+1] > off })
+	if i >= len(s.bounds)-1 {
+		return 0, 0, false
+	}
+	if off+int32(qlen) > s.bounds[i+1] {
+		return 0, 0, false // straddles the boundary
+	}
+	return int32(i), off - s.bounds[i], true
+}
+
+// Count returns the number of exact occurrences of q.
+func (s *PathSuffixArray) Count(q []traj.Symbol) int { return len(s.Lookup(q)) }

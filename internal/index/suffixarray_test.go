@@ -1,0 +1,101 @@
+package index_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"subtraj/internal/index"
+	"subtraj/internal/testutil"
+	"subtraj/internal/traj"
+)
+
+func bruteOccurrences(ds *traj.Dataset, q []traj.Symbol) []index.Posting {
+	var out []index.Posting
+	for id := range ds.Trajs {
+		p := ds.Trajs[id].Path
+	outer:
+		for s := 0; s+len(q) <= len(p); s++ {
+			for i := range q {
+				if p[s+i] != q[i] {
+					continue outer
+				}
+			}
+			out = append(out, index.Posting{ID: int32(id), Pos: int32(s)})
+		}
+	}
+	return out
+}
+
+func sortPostings(ps []index.Posting) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].ID != ps[j].ID {
+			return ps[i].ID < ps[j].ID
+		}
+		return ps[i].Pos < ps[j].Pos
+	})
+}
+
+func TestSuffixArrayLookupMatchesBruteForce(t *testing.T) {
+	env := testutil.NewEnv(73, 30, 20)
+	sa := index.BuildPathSuffixArray(env.V)
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 60; trial++ {
+		// Half the queries are sampled subpaths (guaranteed hits), half
+		// random strings (mostly misses).
+		var q []traj.Symbol
+		if trial%2 == 0 {
+			id := rng.Intn(env.V.Len())
+			p := env.V.Trajs[id].Path
+			qlen := 1 + rng.Intn(6)
+			if qlen > len(p) {
+				qlen = len(p)
+			}
+			s := rng.Intn(len(p) - qlen + 1)
+			q = append(q, p[s:s+qlen]...)
+		} else {
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				q = append(q, traj.Symbol(rng.Intn(int(200))))
+			}
+		}
+		got := sa.Lookup(q)
+		want := bruteOccurrences(env.V, q)
+		if len(got) != len(want) {
+			t.Fatalf("lookup count %d != %d for %v", len(got), len(want), q)
+		}
+		sortPostings(got)
+		sortPostings(want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("occurrence %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+		if sa.Count(q) != len(want) {
+			t.Fatalf("count mismatch")
+		}
+	}
+}
+
+func TestSuffixArrayNoCrossTrajectoryMatches(t *testing.T) {
+	ds := traj.NewDataset(traj.VertexRep)
+	ds.Add(traj.Trajectory{Path: []traj.Symbol{1, 2, 3}})
+	ds.Add(traj.Trajectory{Path: []traj.Symbol{4, 5, 6}})
+	sa := index.BuildPathSuffixArray(ds)
+	// "3 4" exists in the concatenation but spans the boundary.
+	if got := sa.Lookup([]traj.Symbol{3, 4}); len(got) != 0 {
+		t.Fatalf("cross-boundary match returned: %+v", got)
+	}
+	if got := sa.Lookup([]traj.Symbol{2, 3}); len(got) != 1 {
+		t.Fatalf("legitimate match missing: %+v", got)
+	}
+	if got := sa.Lookup(nil); got != nil {
+		t.Fatal("empty query must return nil")
+	}
+}
+
+func TestSuffixArrayEmptyDataset(t *testing.T) {
+	sa := index.BuildPathSuffixArray(traj.NewDataset(traj.VertexRep))
+	if got := sa.Lookup([]traj.Symbol{1}); len(got) != 0 {
+		t.Fatal("match in empty dataset")
+	}
+}

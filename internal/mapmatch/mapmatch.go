@@ -1,0 +1,276 @@
+// Package mapmatch implements HMM map matching in the style of Newson &
+// Krumm (reference [34]), the preprocessing step the paper uses to convert
+// raw GPS trajectories into network-constrained paths (§2.1, §6.1).
+//
+// States are candidate vertices near each GPS sample; emission
+// probabilities follow a Gaussian on the sample-to-vertex distance, and
+// transition probabilities penalise the difference between the great-circle
+// (here: Euclidean) displacement of consecutive samples and the network
+// route distance between the candidate vertices. Viterbi decoding yields
+// the most likely vertex sequence, which is stitched into a connected path
+// with shortest-path segments.
+package mapmatch
+
+import (
+	"errors"
+	"math"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/roadnet"
+	"subtraj/internal/shortestpath"
+	"subtraj/internal/spatial"
+)
+
+// Config tunes the matcher. Zero fields fall back to defaults suited to
+// the synthetic workloads (~20 m GPS noise on ~100 m blocks).
+type Config struct {
+	// Sigma is the GPS noise standard deviation (metres) of the emission
+	// model. Default 20.
+	Sigma float64
+	// Beta is the exponential transition scale (metres). Default 50.
+	Beta float64
+	// MaxCandidates bounds the candidate vertices per sample. Default 8.
+	MaxCandidates int
+	// MaxRouteFactor prunes transitions whose route distance exceeds
+	// this multiple of (displacement + Beta). Default 4.
+	MaxRouteFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sigma <= 0 {
+		c.Sigma = 20
+	}
+	if c.Beta <= 0 {
+		c.Beta = 50
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 8
+	}
+	if c.MaxRouteFactor <= 0 {
+		c.MaxRouteFactor = 4
+	}
+	return c
+}
+
+// Matcher matches GPS traces onto one road network.
+type Matcher struct {
+	g    *roadnet.Graph
+	adj  *shortestpath.Adjacency
+	tree *spatial.KDTree
+	cfg  Config
+}
+
+// New builds a matcher over g.
+func New(g *roadnet.Graph, cfg Config) *Matcher {
+	return &Matcher{
+		g:    g,
+		adj:  shortestpath.FromGraph(g),
+		tree: spatial.Build(g.Coords()),
+		cfg:  cfg.withDefaults(),
+	}
+}
+
+// ErrNoPath is returned when no candidate sequence is connected.
+var ErrNoPath = errors.New("mapmatch: no connected candidate path")
+
+// Match maps a GPS trace to a vertex path on the network. The result is a
+// connected path (consecutive vertices joined by edges); repeated vertices
+// from slow traces are collapsed.
+func (m *Matcher) Match(trace []geo.Point) ([]roadnet.VertexID, error) {
+	if len(trace) == 0 {
+		return nil, errors.New("mapmatch: empty trace")
+	}
+	type state struct {
+		v       int32
+		logp    float64
+		backptr int
+		// route holds the vertex path (excluding the previous state's
+		// vertex) taken from the backptr state to this one.
+		route []int32
+	}
+	emit := func(p geo.Point, v int32) float64 {
+		d2 := p.Dist2(m.g.Coord(v))
+		return -d2 / (2 * m.cfg.Sigma * m.cfg.Sigma)
+	}
+	cands := func(p geo.Point) []int32 {
+		return m.tree.KNearest(p, m.cfg.MaxCandidates)
+	}
+
+	prev := make([]state, 0, m.cfg.MaxCandidates)
+	for _, v := range cands(trace[0]) {
+		prev = append(prev, state{v: v, logp: emit(trace[0], v), backptr: -1})
+	}
+	layers := make([][]state, 1, len(trace))
+	layers[0] = prev
+
+	for i := 1; i < len(trace); i++ {
+		displacement := trace[i].Dist(trace[i-1])
+		maxRoute := m.cfg.MaxRouteFactor * (displacement + m.cfg.Beta)
+		var cur []state
+		for _, v := range cands(trace[i]) {
+			best := state{v: v, logp: math.Inf(-1), backptr: -1}
+			for pi := range prev {
+				if math.IsInf(prev[pi].logp, -1) {
+					continue
+				}
+				route, routeDist := m.route(prev[pi].v, v, maxRoute)
+				if route == nil && prev[pi].v != v {
+					continue
+				}
+				trans := -math.Abs(routeDist-displacement) / m.cfg.Beta
+				lp := prev[pi].logp + trans
+				if lp > best.logp {
+					best.logp = lp
+					best.backptr = pi
+					best.route = route
+				}
+			}
+			if best.backptr >= 0 {
+				best.logp += emit(trace[i], v)
+				cur = append(cur, best)
+			}
+		}
+		if len(cur) == 0 {
+			// HMM break (paper's real traces have them too); restart
+			// from scratch at this sample — the caller receives the
+			// longest decoded head. We choose to fail instead: the
+			// synthetic traces are dense enough that a break indicates
+			// misuse.
+			return nil, ErrNoPath
+		}
+		layers = append(layers, cur)
+		prev = cur
+	}
+
+	// Backtrack from the best final state.
+	last := layers[len(layers)-1]
+	bi := 0
+	for i := range last {
+		if last[i].logp > last[bi].logp {
+			bi = i
+		}
+	}
+	var rev [][]int32 // route fragments in reverse layer order
+	var headV int32
+	for li := len(layers) - 1; li >= 0; li-- {
+		st := layers[li][bi]
+		if li > 0 {
+			rev = append(rev, st.route)
+			bi = st.backptr
+		} else {
+			headV = st.v
+		}
+	}
+	path := []int32{headV}
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i]...)
+	}
+	// Collapse consecutive duplicates (stationary samples).
+	out := path[:1]
+	for _, v := range path[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// route returns the shortest vertex path from a to b (excluding a) and its
+// length, or (nil, 0) when b is unreachable within maxDist. a == b yields
+// an empty route of length 0.
+func (m *Matcher) route(a, b int32, maxDist float64) ([]int32, float64) {
+	if a == b {
+		return []int32{}, 0
+	}
+	// Bounded Dijkstra with parent tracking.
+	type rec struct {
+		d      float64
+		parent int32
+	}
+	settled := map[int32]rec{}
+	dist := map[int32]rec{a: {0, -1}}
+	q := &boundedPQ{}
+	q.push(a, 0)
+	for q.len() > 0 {
+		v, d := q.pop()
+		if r, ok := settled[v]; ok && r.d <= d {
+			continue
+		}
+		settled[v] = rec{d, dist[v].parent}
+		if v == b {
+			// Reconstruct.
+			var path []int32
+			for x := b; x != a; x = settled[x].parent {
+				path = append(path, x)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, d
+		}
+		if d > maxDist {
+			return nil, 0
+		}
+		heads, ws := m.adj.Neighbors(v)
+		for i, w := range heads {
+			nd := d + ws[i]
+			if r, ok := dist[w]; !ok || nd < r.d {
+				dist[w] = rec{nd, v}
+				q.push(w, nd)
+			}
+		}
+	}
+	return nil, 0
+}
+
+// boundedPQ is a tiny binary heap keyed by distance.
+type boundedPQ struct {
+	vs []int32
+	ds []float64
+}
+
+func (q *boundedPQ) len() int { return len(q.vs) }
+
+func (q *boundedPQ) push(v int32, d float64) {
+	q.vs = append(q.vs, v)
+	q.ds = append(q.ds, d)
+	c := len(q.ds) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if q.ds[p] <= q.ds[c] {
+			break
+		}
+		q.swap(p, c)
+		c = p
+	}
+}
+
+func (q *boundedPQ) pop() (int32, float64) {
+	v, d := q.vs[0], q.ds[0]
+	last := len(q.ds) - 1
+	q.swap(0, last)
+	q.vs = q.vs[:last]
+	q.ds = q.ds[:last]
+	p := 0
+	for {
+		l, r := 2*p+1, 2*p+2
+		small := p
+		if l < last && q.ds[l] < q.ds[small] {
+			small = l
+		}
+		if r < last && q.ds[r] < q.ds[small] {
+			small = r
+		}
+		if small == p {
+			break
+		}
+		q.swap(p, small)
+		p = small
+	}
+	return v, d
+}
+
+func (q *boundedPQ) swap(i, j int) {
+	q.vs[i], q.vs[j] = q.vs[j], q.vs[i]
+	q.ds[i], q.ds[j] = q.ds[j], q.ds[i]
+}

@@ -1,0 +1,138 @@
+package mapmatch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/mapmatch"
+	"subtraj/internal/roadnet"
+	"subtraj/internal/workload"
+)
+
+// sampleTrace walks a ground-truth path and emits one noisy GPS point per
+// vertex.
+func sampleTrace(g *roadnet.Graph, path []int32, noise float64, rng *rand.Rand) []geo.Point {
+	out := make([]geo.Point, len(path))
+	for i, v := range path {
+		p := g.Coord(v)
+		out[i] = geo.Point{X: p.X + rng.NormFloat64()*noise, Y: p.Y + rng.NormFloat64()*noise}
+	}
+	return out
+}
+
+func TestMatchRecoversPathLowNoise(t *testing.T) {
+	w := workload.Generate(workload.Tiny(31))
+	m := mapmatch.New(w.Graph, mapmatch.Config{Sigma: 15})
+	rng := rand.New(rand.NewSource(31))
+	recovered, total := 0, 0
+	for id := 0; id < 10 && id < w.Data.Len(); id++ {
+		truth := w.Data.Trajs[id].Path
+		if len(truth) < 4 {
+			continue
+		}
+		truth32 := make([]int32, len(truth))
+		copy(truth32, truth)
+		trace := sampleTrace(w.Graph, truth32, 8, rng)
+		got, err := m.Match(trace)
+		if err != nil {
+			t.Fatalf("trajectory %d: %v", id, err)
+		}
+		// The result must be a connected path on the network.
+		if !w.Graph.IsPath(got) {
+			t.Fatalf("trajectory %d: matched result is not a path", id)
+		}
+		total++
+		if exactMatch(got, truth32) {
+			recovered++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no test trajectories")
+	}
+	// Low noise (8 m on 100 m blocks) should recover the vast majority
+	// exactly.
+	if recovered*10 < total*7 {
+		t.Fatalf("only %d/%d paths recovered exactly", recovered, total)
+	}
+}
+
+func exactMatch(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchProducesConnectedPathHighNoise(t *testing.T) {
+	// With heavy noise exact recovery is not expected, but the output
+	// must still be a valid connected path.
+	w := workload.Generate(workload.Tiny(32))
+	m := mapmatch.New(w.Graph, mapmatch.Config{Sigma: 40})
+	rng := rand.New(rand.NewSource(32))
+	ok := 0
+	for id := 0; id < 8 && id < w.Data.Len(); id++ {
+		truth := w.Data.Trajs[id].Path
+		if len(truth) < 4 {
+			continue
+		}
+		truth32 := make([]int32, len(truth))
+		copy(truth32, truth)
+		trace := sampleTrace(w.Graph, truth32, 35, rng)
+		got, err := m.Match(trace)
+		if err != nil {
+			continue // HMM breaks are acceptable at this noise level
+		}
+		if !w.Graph.IsPath(got) {
+			t.Fatalf("trajectory %d: not a path", id)
+		}
+		ok++
+	}
+	if ok == 0 {
+		t.Fatal("matcher failed on every high-noise trace")
+	}
+}
+
+func TestMatchEmptyTrace(t *testing.T) {
+	w := workload.Generate(workload.Tiny(33))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	if _, err := m.Match(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestMatchSinglePoint(t *testing.T) {
+	w := workload.Generate(workload.Tiny(34))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	pt := w.Graph.Coord(0)
+	got, err := m.Match([]geo.Point{pt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-point match %v, want [0]", got)
+	}
+}
+
+func TestStationaryTraceCollapses(t *testing.T) {
+	// Repeated samples at the same location must not produce repeated
+	// vertices.
+	w := workload.Generate(workload.Tiny(35))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	pt := w.Graph.Coord(5)
+	trace := []geo.Point{pt, pt, pt, pt}
+	got, err := m.Match(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("repeated vertex in %v", got)
+		}
+	}
+}

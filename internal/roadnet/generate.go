@@ -1,0 +1,274 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+
+	"subtraj/internal/geo"
+)
+
+// GridConfig configures the perturbed-grid city generator. The generator
+// produces networks with the statistical shape of real road networks: a
+// large, spatially restricted alphabet with small out-degree (the sparsity
+// property §5.2 exploits — "the number of possible next vertices are very
+// small (typically, three)").
+type GridConfig struct {
+	// Rows and Cols give the grid dimensions; the network has Rows*Cols
+	// vertices before DropRate removals.
+	Rows, Cols int
+	// Spacing is the nominal distance between adjacent grid vertices
+	// (metres).
+	Spacing float64
+	// Jitter perturbs each vertex position by a uniform offset in
+	// [-Jitter, +Jitter] per axis, so edge lengths vary like real blocks.
+	Jitter float64
+	// DropRate removes this fraction of vertices (with their edges),
+	// creating irregular blocks, dead ends and varying degrees.
+	DropRate float64
+	// DiagonalRate adds a diagonal arterial across this fraction of grid
+	// cells, giving some vertices degree > 4 like real intersections.
+	DiagonalRate float64
+	// OneWayRate converts this fraction of street pairs to one-way
+	// (keeping only one direction), as in real cities.
+	OneWayRate float64
+}
+
+// DefaultGridConfig returns the configuration used by the synthetic
+// workloads: ~100 m blocks with mild irregularity.
+func DefaultGridConfig(rows, cols int) GridConfig {
+	return GridConfig{
+		Rows:         rows,
+		Cols:         cols,
+		Spacing:      100,
+		Jitter:       25,
+		DropRate:     0.05,
+		DiagonalRate: 0.05,
+		OneWayRate:   0.10,
+	}
+}
+
+// GenerateGrid builds a perturbed-grid road network. The result is
+// guaranteed non-empty and uses the largest strongly connected component of
+// the generated street pattern, so every trajectory generator walk can
+// always continue.
+func GenerateGrid(cfg GridConfig, rng *rand.Rand) *Graph {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		panic("roadnet: grid must be at least 2x2")
+	}
+	type cell struct {
+		alive bool
+		id    VertexID
+		pt    geo.Point
+	}
+	cells := make([]cell, cfg.Rows*cfg.Cols)
+	at := func(r, c int) *cell { return &cells[r*cfg.Cols+c] }
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			cl := at(r, c)
+			cl.alive = rng.Float64() >= cfg.DropRate
+			cl.pt = geo.Point{
+				X: float64(c)*cfg.Spacing + uniform(rng, -cfg.Jitter, cfg.Jitter),
+				Y: float64(r)*cfg.Spacing + uniform(rng, -cfg.Jitter, cfg.Jitter),
+			}
+		}
+	}
+
+	// Build the full (pre-SCC) graph with provisional IDs.
+	type rawEdge struct {
+		a, b   int // cell indexes
+		twoWay bool
+		diag   bool
+	}
+	var raw []rawEdge
+	idx := func(r, c int) int { return r*cfg.Cols + c }
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if !cells[idx(r, c)].alive {
+				continue
+			}
+			if c+1 < cfg.Cols && cells[idx(r, c+1)].alive {
+				raw = append(raw, rawEdge{idx(r, c), idx(r, c+1), rng.Float64() >= cfg.OneWayRate, false})
+			}
+			if r+1 < cfg.Rows && cells[idx(r+1, c)].alive {
+				raw = append(raw, rawEdge{idx(r, c), idx(r+1, c), rng.Float64() >= cfg.OneWayRate, false})
+			}
+			if r+1 < cfg.Rows && c+1 < cfg.Cols && cells[idx(r+1, c+1)].alive && rng.Float64() < cfg.DiagonalRate {
+				raw = append(raw, rawEdge{idx(r, c), idx(r+1, c+1), true, true})
+			}
+		}
+	}
+
+	// Adjacency on cell indexes for the SCC computation.
+	n := len(cells)
+	adj := make([][]int32, n)
+	radj := make([][]int32, n)
+	for _, e := range raw {
+		adj[e.a] = append(adj[e.a], int32(e.b))
+		radj[e.b] = append(radj[e.b], int32(e.a))
+		if e.twoWay {
+			adj[e.b] = append(adj[e.b], int32(e.a))
+			radj[e.a] = append(radj[e.a], int32(e.b))
+		} else if rng.Float64() < 0.5 {
+			// Flip the surviving direction of one-way streets half the
+			// time so one-ways point both ways across the city.
+			adj[e.a] = adj[e.a][:len(adj[e.a])-1]
+			radj[e.b] = radj[e.b][:len(radj[e.b])-1]
+			adj[e.b] = append(adj[e.b], int32(e.a))
+			radj[e.a] = append(radj[e.a], int32(e.b))
+		}
+	}
+	inSCC := largestSCC(adj, radj)
+
+	// Materialise the final graph restricted to the largest SCC.
+	g := &Graph{}
+	for i := range cells {
+		if cells[i].alive && inSCC[i] {
+			cells[i].id = g.AddVertex(cells[i].pt)
+		} else {
+			cells[i].id = -1
+			cells[i].alive = false
+		}
+	}
+	addDirected := func(a, b int) {
+		ca, cb := &cells[a], &cells[b]
+		w := ca.pt.Dist(cb.pt)
+		if w <= 0 {
+			w = 1 // degenerate jitter collision; keep weights positive
+		}
+		g.AddEdge(ca.id, cb.id, w)
+	}
+	seen := make(map[[2]int]bool)
+	for u := 0; u < n; u++ {
+		if !cells[u].alive {
+			continue
+		}
+		for _, v32 := range adj[u] {
+			v := int(v32)
+			if !cells[v].alive || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			addDirected(u, v)
+		}
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		panic("roadnet: generated graph is empty; lower DropRate")
+	}
+	return g
+}
+
+// largestSCC returns membership flags of the largest strongly connected
+// component, via Kosaraju's algorithm with explicit stacks (the synthetic
+// cities can exceed default goroutine stack recursion comfort).
+func largestSCC(adj, radj [][]int32) []bool {
+	n := len(adj)
+	order := make([]int32, 0, n)
+	state := make([]int8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		v  int32
+		ei int
+	}
+	stack := make([]frame, 0, 64)
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		stack = append(stack, frame{int32(s), 0})
+		state[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if state[w] == 0 {
+					state[w] = 1
+					stack = append(stack, frame{w, 0})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			state[f.v] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var best, bestSize, cur int32
+	var queue []int32
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] != -1 {
+			continue
+		}
+		var size int32
+		queue = append(queue[:0], root)
+		comp[root] = cur
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, w := range radj[v] {
+				if comp[w] == -1 {
+					comp[w] = cur
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize, best = size, cur
+		}
+		cur++
+	}
+	in := make([]bool, n)
+	for v, c := range comp {
+		in[v] = c == best
+	}
+	return in
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// GenerateRingRadial builds a ring-and-radial city (historic European
+// shape): concentric rings connected by radial avenues. Used by tests and
+// the Porto-like workload to vary network topology across datasets.
+func GenerateRingRadial(rings, spokes int, ringSpacing float64, rng *rand.Rand) *Graph {
+	if rings < 1 || spokes < 3 {
+		panic("roadnet: need at least 1 ring and 3 spokes")
+	}
+	g := &Graph{}
+	center := g.AddVertex(geo.Point{})
+	ids := make([][]VertexID, rings)
+	for r := 0; r < rings; r++ {
+		ids[r] = make([]VertexID, spokes)
+		radius := ringSpacing * float64(r+1)
+		for s := 0; s < spokes; s++ {
+			ang := 2*math.Pi*float64(s)/float64(spokes) + uniform(rng, -0.05, 0.05)
+			jr := radius * (1 + uniform(rng, -0.03, 0.03))
+			ids[r][s] = g.AddVertex(geo.Point{X: jr * math.Cos(ang), Y: jr * math.Sin(ang)})
+		}
+	}
+	both := func(a, b VertexID) {
+		w := g.Coord(a).Dist(g.Coord(b))
+		if w <= 0 {
+			w = 1
+		}
+		g.AddEdge(a, b, w)
+		g.AddEdge(b, a, w)
+	}
+	for s := 0; s < spokes; s++ {
+		both(center, ids[0][s])
+		for r := 0; r+1 < rings; r++ {
+			both(ids[r][s], ids[r+1][s])
+		}
+	}
+	for r := 0; r < rings; r++ {
+		for s := 0; s < spokes; s++ {
+			both(ids[r][s], ids[r][(s+1)%spokes])
+		}
+	}
+	return g
+}

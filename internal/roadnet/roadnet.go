@@ -1,0 +1,255 @@
+// Package roadnet models the road network substrate from §2.1 of the paper:
+// a directed graph G=(V,E) whose vertices carry planar coordinates and whose
+// edges carry travel-cost weights (road length in metres in our workloads).
+//
+// Trajectories are paths on G; the trajectory alphabet is either V (vertex
+// representation) or E (edge representation). The package also provides the
+// synthetic city generators that stand in for the paper's proprietary
+// OSM-derived networks (see DESIGN.md §1.2 for the substitution rationale).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"subtraj/internal/geo"
+)
+
+// VertexID identifies a vertex; EdgeID identifies a directed edge. Both are
+// dense indexes assigned at construction, usable directly as slice indexes
+// and as WED symbols.
+type VertexID = int32
+
+// EdgeID identifies a directed edge.
+type EdgeID = int32
+
+// Edge is a directed road segment.
+type Edge struct {
+	ID     EdgeID
+	From   VertexID
+	To     VertexID
+	Weight float64 // travel cost, e.g. length in metres; must be > 0
+}
+
+// Graph is a directed road network. The zero value is an empty graph ready
+// to use; vertices and edges are added with AddVertex / AddEdge.
+type Graph struct {
+	coords []geo.Point
+	edges  []Edge
+	out    [][]EdgeID // outgoing edge IDs per vertex
+	in     [][]EdgeID // incoming edge IDs per vertex
+
+	// byEndpoints finds an edge ID from its (from, to) pair; built lazily.
+	byEndpoints map[[2]VertexID]EdgeID
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.coords) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddVertex inserts a vertex at p and returns its ID.
+func (g *Graph) AddVertex(p geo.Point) VertexID {
+	id := VertexID(len(g.coords))
+	g.coords = append(g.coords, p)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge inserts a directed edge and returns its ID. It panics on endpoint
+// IDs out of range or non-positive weight: these are programming errors in
+// the generator, not runtime conditions.
+func (g *Graph) AddEdge(from, to VertexID, w float64) EdgeID {
+	if int(from) >= len(g.coords) || int(to) >= len(g.coords) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("roadnet: AddEdge endpoint out of range (%d,%d) with %d vertices", from, to, len(g.coords)))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("roadnet: AddEdge weight %v must be positive and finite", w))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: w})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.byEndpoints = nil // invalidate lazy lookup
+	return id
+}
+
+// Coord returns the coordinate of v.
+func (g *Graph) Coord(v VertexID) geo.Point { return g.coords[v] }
+
+// Coords returns the coordinates of all vertices, indexed by VertexID. The
+// returned slice is shared with the graph and must not be modified.
+func (g *Graph) Coords() []geo.Point { return g.coords }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns all edges indexed by EdgeID. Shared; do not modify.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the IDs of edges leaving v. Shared; do not modify.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the IDs of edges entering v. Shared; do not modify.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// FindEdge returns the ID of the edge from→to. The second result is false
+// if no such edge exists. If parallel edges exist, the one added last wins.
+func (g *Graph) FindEdge(from, to VertexID) (EdgeID, bool) {
+	if g.byEndpoints == nil {
+		g.byEndpoints = make(map[[2]VertexID]EdgeID, len(g.edges))
+		for _, e := range g.edges {
+			g.byEndpoints[[2]VertexID{e.From, e.To}] = e.ID
+		}
+	}
+	id, ok := g.byEndpoints[[2]VertexID{from, to}]
+	return id, ok
+}
+
+// EdgeWeight returns the weight of edge id.
+func (g *Graph) EdgeWeight(id EdgeID) float64 { return g.edges[id].Weight }
+
+// VertexPathToEdges converts a vertex-representation path v1 v2 ... vn into
+// its edge representation e1 ... e(n-1). It returns an error if consecutive
+// vertices are not connected.
+func (g *Graph) VertexPathToEdges(path []VertexID) ([]EdgeID, error) {
+	if len(path) < 2 {
+		return nil, nil
+	}
+	out := make([]EdgeID, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		id, ok := g.FindEdge(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("roadnet: no edge %d->%d at position %d", path[i], path[i+1], i)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// EdgePathToVertices converts an edge-representation path back to vertices.
+// It returns an error if consecutive edges do not share an endpoint.
+func (g *Graph) EdgePathToVertices(path []EdgeID) ([]VertexID, error) {
+	if len(path) == 0 {
+		return nil, nil
+	}
+	out := make([]VertexID, 0, len(path)+1)
+	out = append(out, g.edges[path[0]].From)
+	for i, id := range path {
+		e := g.edges[id]
+		if e.From != out[len(out)-1] {
+			return nil, fmt.Errorf("roadnet: edge path disconnected at position %d", i)
+		}
+		out = append(out, e.To)
+	}
+	return out, nil
+}
+
+// IsPath reports whether the vertex sequence is a path on g (every
+// consecutive pair connected by an edge).
+func (g *Graph) IsPath(path []VertexID) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if _, ok := g.FindEdge(path[i], path[i+1]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PathWeight returns the total edge weight along a vertex path. It returns
+// an error if the sequence is not a path.
+func (g *Graph) PathWeight(path []VertexID) (float64, error) {
+	var sum float64
+	for i := 0; i+1 < len(path); i++ {
+		id, ok := g.FindEdge(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("roadnet: no edge %d->%d", path[i], path[i+1])
+		}
+		sum += g.edges[id].Weight
+	}
+	return sum, nil
+}
+
+// Barycenter returns the barycentre of the vertices — the paper's default
+// reference point g for ERP (Eq. 3).
+func (g *Graph) Barycenter() geo.Point {
+	var c geo.Point
+	if len(g.coords) == 0 {
+		return c
+	}
+	for _, p := range g.coords {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(g.coords)))
+}
+
+// MedianEdgeWeight returns the median edge weight, used by the paper to set
+// the NetEDR matching threshold ε and the NetERP neighbourhood threshold η.
+func (g *Graph) MedianEdgeWeight() float64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	ws := make([]float64, len(g.edges))
+	for i, e := range g.edges {
+		ws[i] = e.Weight
+	}
+	return median(ws)
+}
+
+func median(xs []float64) float64 {
+	// Select without sorting the caller's slice; n is small enough that a
+	// full sort is fine, but quickselect keeps this O(n) for the large
+	// synthetic cities.
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	k := n / 2
+	lo, hi := 0, n-1
+	for lo < hi {
+		// Hoare partition: xs[lo..p] ≤ pivot ≤ xs[p+1..hi]; the pivot is
+		// not finalised, so recurse into whichever side holds k.
+		p := partition(xs, lo, hi)
+		if p < k {
+			lo = p + 1
+		} else {
+			hi = p
+		}
+	}
+	return xs[k]
+}
+
+func partition(xs []float64, lo, hi int) int {
+	// Median-of-three pivot to avoid quadratic behaviour on sorted input.
+	mid := lo + (hi-lo)/2
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	i, j := lo, hi
+	for {
+		for xs[i] < pivot {
+			i++
+		}
+		for xs[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+		i++
+		j--
+	}
+}

@@ -1,0 +1,233 @@
+package roadnet_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/roadnet"
+)
+
+func TestGenerateGridBasicInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		g := roadnet.GenerateGrid(roadnet.DefaultGridConfig(15, 15), rng)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatal("empty graph")
+		}
+		for _, e := range g.Edges() {
+			if e.Weight <= 0 {
+				t.Fatalf("non-positive weight %v", e.Weight)
+			}
+			if e.From == e.To {
+				t.Fatalf("self loop at %d", e.From)
+			}
+		}
+		// Sparsity: mean out-degree must be small (road networks are
+		// sparse — the §5.2 property).
+		avg := float64(g.NumEdges()) / float64(g.NumVertices())
+		if avg > 5 {
+			t.Fatalf("graph too dense: avg out-degree %v", avg)
+		}
+	}
+}
+
+func TestGenerateGridStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := roadnet.GenerateGrid(roadnet.DefaultGridConfig(12, 12), rng)
+	// BFS forward and backward from vertex 0 must reach everything.
+	reach := func(backward bool) int {
+		seen := make([]bool, g.NumVertices())
+		stack := []roadnet.VertexID{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			var edges []roadnet.EdgeID
+			if backward {
+				edges = g.In(v)
+			} else {
+				edges = g.Out(v)
+			}
+			for _, eid := range edges {
+				e := g.Edge(eid)
+				w := e.To
+				if backward {
+					w = e.From
+				}
+				if !seen[w] {
+					seen[w] = true
+					count++
+					stack = append(stack, w)
+				}
+			}
+		}
+		return count
+	}
+	if got := reach(false); got != g.NumVertices() {
+		t.Fatalf("forward reach %d != |V| %d", got, g.NumVertices())
+	}
+	if got := reach(true); got != g.NumVertices() {
+		t.Fatalf("backward reach %d != |V| %d", got, g.NumVertices())
+	}
+}
+
+func TestGenerateRingRadialConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := roadnet.GenerateRingRadial(4, 12, 200, rng)
+	if g.NumVertices() != 1+4*12 {
+		t.Fatalf("vertex count %d", g.NumVertices())
+	}
+	for _, e := range g.Edges() {
+		if e.Weight <= 0 {
+			t.Fatalf("non-positive weight")
+		}
+		// Every edge must have its reverse (ring-radial is two-way).
+		if _, ok := g.FindEdge(e.To, e.From); !ok {
+			t.Fatalf("missing reverse edge %d->%d", e.To, e.From)
+		}
+	}
+}
+
+func TestPathConversionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := roadnet.GenerateGrid(roadnet.DefaultGridConfig(10, 10), rng)
+	// Random walk, convert to edges and back.
+	for trial := 0; trial < 30; trial++ {
+		v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		path := []roadnet.VertexID{v}
+		for len(path) < 12 {
+			out := g.Out(v)
+			if len(out) == 0 {
+				break
+			}
+			e := g.Edge(out[rng.Intn(len(out))])
+			v = e.To
+			path = append(path, v)
+		}
+		if len(path) < 2 {
+			continue
+		}
+		edges, err := g.VertexPathToEdges(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) != len(path)-1 {
+			t.Fatalf("edge path length %d", len(edges))
+		}
+		back, err := g.EdgePathToVertices(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(path) {
+			t.Fatalf("round trip length %d != %d", len(back), len(path))
+		}
+		for i := range back {
+			if back[i] != path[i] {
+				t.Fatalf("round trip mismatch at %d", i)
+			}
+		}
+		if !g.IsPath(path) {
+			t.Fatal("walk is not a path")
+		}
+	}
+}
+
+func TestPathConversionErrors(t *testing.T) {
+	g := &roadnet.Graph{}
+	a := g.AddVertex(geo.Point{})
+	b := g.AddVertex(geo.Point{X: 1})
+	c := g.AddVertex(geo.Point{X: 2})
+	g.AddEdge(a, b, 1)
+	if _, err := g.VertexPathToEdges([]roadnet.VertexID{a, c}); err == nil {
+		t.Error("disconnected vertex path accepted")
+	}
+	e1 := g.AddEdge(b, c, 1)
+	e0, _ := g.FindEdge(a, b)
+	if _, err := g.EdgePathToVertices([]roadnet.EdgeID{e1, e0}); err == nil {
+		t.Error("disconnected edge path accepted")
+	}
+	if _, err := g.PathWeight([]roadnet.VertexID{a, c}); err == nil {
+		t.Error("PathWeight on non-path accepted")
+	}
+	w, err := g.PathWeight([]roadnet.VertexID{a, b, c})
+	if err != nil || w != 2 {
+		t.Errorf("PathWeight = %v, %v", w, err)
+	}
+}
+
+func TestMedianEdgeWeight(t *testing.T) {
+	g := &roadnet.Graph{}
+	var vs []roadnet.VertexID
+	for i := 0; i < 6; i++ {
+		vs = append(vs, g.AddVertex(geo.Point{X: float64(i)}))
+	}
+	weights := []float64{5, 1, 4, 2, 3}
+	for i, w := range weights {
+		g.AddEdge(vs[i], vs[i+1], w)
+	}
+	sorted := append([]float64(nil), weights...)
+	sort.Float64s(sorted)
+	want := sorted[len(sorted)/2]
+	if got := g.MedianEdgeWeight(); got != want {
+		t.Fatalf("median %v, want %v", got, want)
+	}
+}
+
+func TestMedianEdgeWeightRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		g := &roadnet.Graph{}
+		n := 2 + rng.Intn(40)
+		var vs []roadnet.VertexID
+		for i := 0; i < n; i++ {
+			vs = append(vs, g.AddVertex(geo.Point{X: float64(i)}))
+		}
+		var ws []float64
+		for i := 0; i+1 < n; i++ {
+			w := rng.Float64()*100 + 1
+			ws = append(ws, w)
+			g.AddEdge(vs[i], vs[i+1], w)
+		}
+		sorted := append([]float64(nil), ws...)
+		sort.Float64s(sorted)
+		if got, want := g.MedianEdgeWeight(), sorted[len(sorted)/2]; got != want {
+			t.Fatalf("median %v, want %v (n=%d)", got, want, len(ws))
+		}
+	}
+}
+
+func TestBarycenter(t *testing.T) {
+	g := &roadnet.Graph{}
+	g.AddVertex(geo.Point{X: 0, Y: 0})
+	g.AddVertex(geo.Point{X: 2, Y: 4})
+	c := g.Barycenter()
+	if c.X != 1 || c.Y != 2 {
+		t.Fatalf("barycenter %+v", c)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := &roadnet.Graph{}
+	a := g.AddVertex(geo.Point{})
+	b := g.AddVertex(geo.Point{X: 1})
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero weight", func() { g.AddEdge(a, b, 0) }},
+		{"negative weight", func() { g.AddEdge(a, b, -1) }},
+		{"bad endpoint", func() { g.AddEdge(a, 99, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

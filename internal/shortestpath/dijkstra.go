@@ -1,0 +1,224 @@
+// Package shortestpath provides the shortest-path substrate the paper's
+// network-aware cost functions (NetEDR, NetERP, §2.2.3) depend on:
+//
+//   - plain Dijkstra (ground truth and path extraction),
+//   - bounded Dijkstra, which yields exactly the substitution neighbourhood
+//     B(q) = {b : spdist(q,b) ≤ η} and the filtering cost
+//     c(q) = min spdist(q,·) beyond η (Definition 4, Eq. 7), and
+//   - a hub-labelling index (pruned landmark labelling [1,2] in the paper's
+//     references) for O(label) point-to-point distance queries during
+//     verification.
+//
+// The paper symmetrises the road network for Net* functions ("One way to
+// fix this is to make the road network undirected", §2.2.3); Undirected
+// builds that view.
+package shortestpath
+
+import (
+	"container/heap"
+	"math"
+
+	"subtraj/internal/roadnet"
+)
+
+// Inf is the distance reported for unreachable vertices.
+const Inf = math.MaxFloat64
+
+// Adjacency is a flattened weighted adjacency list, the input shared by all
+// algorithms in this package.
+type Adjacency struct {
+	heads   []int32   // head vertex per arc
+	weights []float64 // weight per arc
+	offsets []int32   // CSR offsets, len = |V|+1
+}
+
+// NumVertices returns the vertex count.
+func (a *Adjacency) NumVertices() int { return len(a.offsets) - 1 }
+
+// Neighbors returns the arc targets and weights of v. Shared; do not modify.
+func (a *Adjacency) Neighbors(v int32) ([]int32, []float64) {
+	lo, hi := a.offsets[v], a.offsets[v+1]
+	return a.heads[lo:hi], a.weights[lo:hi]
+}
+
+// FromGraph builds the directed adjacency of g.
+func FromGraph(g *roadnet.Graph) *Adjacency {
+	n := g.NumVertices()
+	deg := make([]int32, n+1)
+	for _, e := range g.Edges() {
+		deg[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	a := &Adjacency{
+		heads:   make([]int32, g.NumEdges()),
+		weights: make([]float64, g.NumEdges()),
+		offsets: deg,
+	}
+	fill := make([]int32, n)
+	for _, e := range g.Edges() {
+		pos := a.offsets[e.From] + fill[e.From]
+		a.heads[pos] = e.To
+		a.weights[pos] = e.Weight
+		fill[e.From]++
+	}
+	return a
+}
+
+// Undirected builds the symmetrised adjacency of g: every edge becomes two
+// arcs with the same weight (parallel duplicates keep the minimum weight
+// implicitly through Dijkstra).
+func Undirected(g *roadnet.Graph) *Adjacency {
+	n := g.NumVertices()
+	deg := make([]int32, n+1)
+	for _, e := range g.Edges() {
+		deg[e.From+1]++
+		deg[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	m := 2 * g.NumEdges()
+	a := &Adjacency{
+		heads:   make([]int32, m),
+		weights: make([]float64, m),
+		offsets: deg,
+	}
+	fill := make([]int32, n)
+	put := func(from, to int32, w float64) {
+		pos := a.offsets[from] + fill[from]
+		a.heads[pos] = to
+		a.weights[pos] = w
+		fill[from]++
+	}
+	for _, e := range g.Edges() {
+		put(e.From, e.To, e.Weight)
+		put(e.To, e.From, e.Weight)
+	}
+	return a
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	v int32
+	d float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source distances from src. Unreachable vertices
+// get Inf.
+func Dijkstra(a *Adjacency, src int32) []float64 {
+	n := a.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	q := pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		heads, ws := a.Neighbors(it.v)
+		for i, w := range heads {
+			nd := it.d + ws[i]
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(&q, pqItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraPath returns a shortest path from src to dst in vertex
+// representation, or nil if unreachable.
+func DijkstraPath(a *Adjacency, src, dst int32) []int32 {
+	n := a.NumVertices()
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.v == dst {
+			break
+		}
+		if it.d > dist[it.v] {
+			continue
+		}
+		heads, ws := a.Neighbors(it.v)
+		for i, w := range heads {
+			nd := it.d + ws[i]
+			if nd < dist[w] {
+				dist[w] = nd
+				prev[w] = it.v
+				heap.Push(&q, pqItem{w, nd})
+			}
+		}
+	}
+	if dist[dst] == Inf {
+		return nil
+	}
+	var path []int32
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Bounded runs Dijkstra from src, reporting every vertex with distance at
+// most radius via within, and the smallest distance strictly greater than
+// radius (the first settled vertex beyond the ball) as beyond. If no vertex
+// lies beyond the radius, beyond is Inf.
+//
+// within(v, d) receives vertices in ascending distance order, src first
+// with d = 0. This is the exact computation of B(q) and c(q)'s network term
+// for NetEDR/NetERP.
+func Bounded(a *Adjacency, src int32, radius float64, within func(v int32, d float64)) (beyond float64) {
+	dist := map[int32]float64{src: 0}
+	q := pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if d, ok := dist[it.v]; ok && it.d > d {
+			continue
+		}
+		if it.d > radius {
+			return it.d
+		}
+		if within != nil {
+			within(it.v, it.d)
+		}
+		heads, ws := a.Neighbors(it.v)
+		for i, w := range heads {
+			nd := it.d + ws[i]
+			if d, ok := dist[w]; !ok || nd < d {
+				dist[w] = nd
+				heap.Push(&q, pqItem{w, nd})
+			}
+		}
+	}
+	return Inf
+}

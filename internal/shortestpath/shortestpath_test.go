@@ -1,0 +1,231 @@
+package shortestpath_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/roadnet"
+	"subtraj/internal/shortestpath"
+	"subtraj/internal/workload"
+)
+
+func smallGraph(seed int64) *roadnet.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return roadnet.GenerateGrid(roadnet.DefaultGridConfig(8, 8), rng)
+}
+
+// floydWarshall is the reference all-pairs implementation.
+func floydWarshall(g *roadnet.Graph, undirected bool) [][]float64 {
+	n := g.NumVertices()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Weight < d[e.From][e.To] {
+			d[e.From][e.To] = e.Weight
+		}
+		if undirected && e.Weight < d[e.To][e.From] {
+			d[e.To][e.From] = e.Weight
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+func eq(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) || a == shortestpath.Inf || b == shortestpath.Inf {
+		return (math.IsInf(a, 1) || a == shortestpath.Inf) && (math.IsInf(b, 1) || b == shortestpath.Inf)
+	}
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a))
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := smallGraph(seed)
+		adj := shortestpath.FromGraph(g)
+		ref := floydWarshall(g, false)
+		for src := 0; src < g.NumVertices(); src += 7 {
+			dist := shortestpath.Dijkstra(adj, int32(src))
+			for v := range dist {
+				if !eq(dist[v], ref[src][v]) {
+					t.Fatalf("seed %d: dist(%d,%d) = %v, want %v", seed, src, v, dist[v], ref[src][v])
+				}
+			}
+		}
+	}
+}
+
+func TestUndirectedSymmetry(t *testing.T) {
+	g := smallGraph(4)
+	und := shortestpath.Undirected(g)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		a := int32(rng.Intn(g.NumVertices()))
+		da := shortestpath.Dijkstra(und, a)
+		b := int32(rng.Intn(g.NumVertices()))
+		db := shortestpath.Dijkstra(und, b)
+		if !eq(da[b], db[a]) {
+			t.Fatalf("undirected asymmetry: d(%d,%d)=%v vs d(%d,%d)=%v", a, b, da[b], b, a, db[a])
+		}
+	}
+}
+
+func TestDijkstraPathIsValidAndOptimal(t *testing.T) {
+	g := smallGraph(5)
+	adj := shortestpath.FromGraph(g)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		src := int32(rng.Intn(g.NumVertices()))
+		dst := int32(rng.Intn(g.NumVertices()))
+		dist := shortestpath.Dijkstra(adj, src)
+		path := shortestpath.DijkstraPath(adj, src, dst)
+		if dist[dst] == shortestpath.Inf {
+			if path != nil {
+				t.Fatalf("path to unreachable %d", dst)
+			}
+			continue
+		}
+		if path == nil || path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("bad endpoints: %v (src=%d dst=%d)", path, src, dst)
+		}
+		var sum float64
+		for j := 0; j+1 < len(path); j++ {
+			eid, ok := g.FindEdge(path[j], path[j+1])
+			if !ok {
+				t.Fatalf("path edge %d->%d missing", path[j], path[j+1])
+			}
+			sum += g.EdgeWeight(eid)
+		}
+		if !eq(sum, dist[dst]) {
+			t.Fatalf("path weight %v != dist %v", sum, dist[dst])
+		}
+	}
+}
+
+func TestBoundedDijkstraExact(t *testing.T) {
+	g := smallGraph(6)
+	und := shortestpath.Undirected(g)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 25; i++ {
+		src := int32(rng.Intn(g.NumVertices()))
+		full := shortestpath.Dijkstra(und, src)
+		radius := rng.Float64() * 400
+		got := map[int32]float64{}
+		beyond := shortestpath.Bounded(und, src, radius, func(v int32, d float64) {
+			got[v] = d
+		})
+		// Within-ball set must match the full Dijkstra restriction.
+		wantBeyond := math.Inf(1)
+		for v, d := range full {
+			if d <= radius {
+				gd, ok := got[int32(v)]
+				if !ok {
+					t.Fatalf("bounded missed %d at %v ≤ %v", v, d, radius)
+				}
+				if !eq(gd, d) {
+					t.Fatalf("bounded dist %v != %v", gd, d)
+				}
+			} else if d < wantBeyond {
+				wantBeyond = d
+			}
+		}
+		for v := range got {
+			if full[v] > radius {
+				t.Fatalf("bounded returned %d beyond radius", v)
+			}
+		}
+		if !eq(beyond, wantBeyond) {
+			t.Fatalf("beyond %v != %v", beyond, wantBeyond)
+		}
+	}
+}
+
+func TestHubLabelsMatchDijkstra(t *testing.T) {
+	for _, seed := range []int64{7, 8} {
+		g := smallGraph(seed)
+		und := shortestpath.Undirected(g)
+		hl := shortestpath.BuildHubLabels(und)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 15; i++ {
+			src := int32(rng.Intn(g.NumVertices()))
+			dist := shortestpath.Dijkstra(und, src)
+			for v := 0; v < g.NumVertices(); v += 3 {
+				if !eq(hl.Query(src, int32(v)), dist[v]) {
+					t.Fatalf("seed %d: HL(%d,%d) = %v, want %v", seed, src, v, hl.Query(src, int32(v)), dist[v])
+				}
+			}
+		}
+		if hl.LabelCount() == 0 {
+			t.Fatal("empty labels")
+		}
+	}
+}
+
+func TestHubLabelsDirected(t *testing.T) {
+	// Hub labels must also be exact on the directed graph (one-way
+	// streets make distances asymmetric).
+	g := smallGraph(9)
+	adj := shortestpath.FromGraph(g)
+	hl := shortestpath.BuildHubLabels(adj)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		src := int32(rng.Intn(g.NumVertices()))
+		dist := shortestpath.Dijkstra(adj, src)
+		for v := 0; v < g.NumVertices(); v += 5 {
+			if !eq(hl.Query(src, int32(v)), dist[v]) {
+				t.Fatalf("directed HL(%d,%d) = %v, want %v", src, v, hl.Query(src, int32(v)), dist[v])
+			}
+		}
+	}
+}
+
+func TestReverseAdjacency(t *testing.T) {
+	// Dijkstra on the reverse graph from v equals distances *to* v in
+	// the original.
+	g := smallGraph(11)
+	fwd := shortestpath.FromGraph(g)
+	rev := shortestpath.Reverse(fwd)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		v := int32(rng.Intn(g.NumVertices()))
+		toV := shortestpath.Dijkstra(rev, v)
+		for u := 0; u < g.NumVertices(); u += 7 {
+			fromU := shortestpath.Dijkstra(fwd, int32(u))
+			if !eq(toV[u], fromU[v]) {
+				t.Fatalf("rev dist(%d<-%d)=%v, fwd dist(%d->%d)=%v", v, u, toV[u], u, v, fromU[v])
+			}
+		}
+	}
+}
+
+func TestHubLabelsOnWorkloadGraph(t *testing.T) {
+	// Integration: a larger generated city.
+	w := workload.Generate(workload.Tiny(10))
+	und := shortestpath.Undirected(w.Graph)
+	hl := shortestpath.BuildHubLabels(und)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 5; i++ {
+		src := int32(rng.Intn(w.Graph.NumVertices()))
+		dist := shortestpath.Dijkstra(und, src)
+		for v := 0; v < w.Graph.NumVertices(); v += 11 {
+			if !eq(hl.Query(src, int32(v)), dist[v]) {
+				t.Fatalf("HL(%d,%d) = %v, want %v", src, v, hl.Query(src, int32(v)), dist[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package simfuncs implements the non-WED similarity functions the paper
+// compares against in the effectiveness experiments (§6.2, §7, Appendix F):
+// dynamic time warping (DTW), longest common subsequence (LCSS), longest
+// overlapping road segments (LORS), and longest common road segments
+// (LCRS), plus the weighted LCS that links LORS to SURS
+// (SURS = w(x) + w(y) − 2·LORS, Appendix F).
+//
+// These functions do not belong to WED (§2.2.4), so the engine cannot index
+// them; the experiments evaluate them with exhaustive subtrajectory scans,
+// exactly as the paper does for LCRS ("we enumerate all subtrajectories").
+package simfuncs
+
+import (
+	"math"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/traj"
+)
+
+// DTW computes dynamic time warping between two point sequences with
+// squared Euclidean local costs (the scaling the paper normalises against
+// in §6.2.1).
+func DTW(p, q []geo.Point) float64 {
+	if len(p) == 0 || len(q) == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, len(q)+1)
+	cur := make([]float64, len(q)+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 0; i < len(p); i++ {
+		cur[0] = math.Inf(1)
+		for j := 0; j < len(q); j++ {
+			c := p[i].Dist2(q[j])
+			best := prev[j] // diagonal
+			if prev[j+1] < best {
+				best = prev[j+1] // up
+			}
+			if cur[j] < best {
+				best = cur[j] // left
+			}
+			cur[j+1] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(q)]
+}
+
+// DiscreteFrechet computes the discrete Fréchet distance ("dog-leash
+// distance") between two point sequences — the third coordinate-aware
+// function of the paper's §7 related work (Xie et al.'s distributed
+// search). It is the min over couplings of the max pointwise distance.
+func DiscreteFrechet(p, q []geo.Point) float64 {
+	if len(p) == 0 || len(q) == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, len(q))
+	cur := make([]float64, len(q))
+	for j := range q {
+		d := p[0].Dist(q[j])
+		if j == 0 {
+			prev[0] = d
+		} else {
+			prev[j] = math.Max(prev[j-1], d)
+		}
+	}
+	for i := 1; i < len(p); i++ {
+		for j := range q {
+			d := p[i].Dist(q[j])
+			switch {
+			case j == 0:
+				cur[0] = math.Max(prev[0], d)
+			default:
+				best := prev[j] // advance p only
+				if prev[j-1] < best {
+					best = prev[j-1] // advance both
+				}
+				if cur[j-1] < best {
+					best = cur[j-1] // advance q only
+				}
+				cur[j] = math.Max(best, d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(q)-1]
+}
+
+// LCSS returns the longest common subsequence length under ε-matching of
+// coordinates (Vlachos et al.).
+func LCSS(p, q []geo.Point, eps float64) int {
+	prev := make([]int, len(q)+1)
+	cur := make([]int, len(q)+1)
+	eps2 := eps * eps
+	for i := 0; i < len(p); i++ {
+		for j := 0; j < len(q); j++ {
+			if p[i].Dist2(q[j]) <= eps2 {
+				cur[j+1] = prev[j] + 1
+			} else if prev[j+1] >= cur[j] {
+				cur[j+1] = prev[j+1]
+			} else {
+				cur[j+1] = cur[j]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(q)]
+}
+
+// WeightedLCS returns the maximum total weight of a common subsequence of
+// two symbol strings, where a matched symbol s contributes weight(s). With
+// road lengths as weights this is exactly LORS (Wang et al.).
+func WeightedLCS(p, q []traj.Symbol, weight func(traj.Symbol) float64) float64 {
+	prev := make([]float64, len(q)+1)
+	cur := make([]float64, len(q)+1)
+	for i := 0; i < len(p); i++ {
+		for j := 0; j < len(q); j++ {
+			if p[i] == q[j] {
+				cur[j+1] = prev[j] + weight(p[i])
+			} else if prev[j+1] >= cur[j] {
+				cur[j+1] = prev[j+1]
+			} else {
+				cur[j+1] = cur[j]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(q)]
+}
+
+// LORS is the longest overlapping road segments similarity: the weighted
+// LCS of two edge strings under road-length weights.
+func LORS(p, q []traj.Symbol, weight func(traj.Symbol) float64) float64 {
+	return WeightedLCS(p, q, weight)
+}
+
+// LCRS is the longest common road segments similarity of Yuan & Li:
+// LORS / (w(x) + w(y) − LORS), a weighted-Jaccard normalisation of LORS
+// (Appendix F).
+func LCRS(p, q []traj.Symbol, weight func(traj.Symbol) float64) float64 {
+	l := LORS(p, q, weight)
+	var wp, wq float64
+	for _, s := range p {
+		wp += weight(s)
+	}
+	for _, s := range q {
+		wq += weight(s)
+	}
+	den := wp + wq - l
+	if den <= 0 {
+		return 1 // both empty or fully shared
+	}
+	return l / den
+}
+
+// SumWeights totals weight(s) over a string (the w(x) of Appendix F).
+func SumWeights(p []traj.Symbol, weight func(traj.Symbol) float64) float64 {
+	var sum float64
+	for _, s := range p {
+		sum += weight(s)
+	}
+	return sum
+}
+
+// BestSub is the best-matching subtrajectory of one trajectory under a
+// non-WED function.
+type BestSub struct {
+	S, T  int     // 0-based inclusive bounds
+	Score float64 // similarity (higher better) or distance (lower better)
+	OK    bool
+}
+
+// BestSubDTW returns the subtrajectory of p minimising DTW to q, scanning
+// all O(|p|²) subtrajectories. maxLen bounds the subtrajectory length
+// (0 = no bound) to keep effectiveness scans tractable.
+func BestSubDTW(p, q []geo.Point, maxLen int) BestSub {
+	best := BestSub{Score: math.Inf(1)}
+	for s := 0; s < len(p); s++ {
+		hi := len(p)
+		if maxLen > 0 && s+maxLen < hi {
+			hi = s + maxLen
+		}
+		// Incremental DTW over growing suffix lengths: recompute rows as
+		// the subtrajectory extends (row t uses row t-1 of the same s).
+		prev := make([]float64, len(q)+1)
+		cur := make([]float64, len(q)+1)
+		for j := range prev {
+			prev[j] = math.Inf(1)
+		}
+		prev[0] = 0
+		for t := s; t < hi; t++ {
+			cur[0] = math.Inf(1)
+			for j := 0; j < len(q); j++ {
+				c := p[t].Dist2(q[j])
+				bestc := prev[j]
+				if prev[j+1] < bestc {
+					bestc = prev[j+1]
+				}
+				if cur[j] < bestc {
+					bestc = cur[j]
+				}
+				cur[j+1] = c + bestc
+			}
+			prev, cur = cur, prev
+			score := prev[len(q)]
+			if score < best.Score || (score == best.Score && best.OK && t-s < best.T-best.S) {
+				best = BestSub{S: s, T: t, Score: score, OK: true}
+			}
+		}
+	}
+	return best
+}
+
+// BestSubWLCS returns the subtrajectory of p maximising a score derived
+// from its weighted LCS with q. For each candidate subtrajectory p[s..t],
+// score(l, wsub) receives l = WeightedLCS(p[s..t], q) and wsub =
+// SumWeights(p[s..t]); the subtrajectory with the highest score wins, ties
+// broken by shortest length. The scan is incremental: extending t by one
+// adds a single DP row, so the total cost is O(|p|²·|q|).
+//
+// LORS uses score = l; LCRS uses l/(wsub + w(q) − l); LCSS uses unit
+// weights and score = l.
+func BestSubWLCS(p, q []traj.Symbol, weight func(traj.Symbol) float64,
+	score func(l, wsub float64) float64, maxLen int) BestSub {
+
+	best := BestSub{Score: math.Inf(-1)}
+	prev := make([]float64, len(q)+1)
+	cur := make([]float64, len(q)+1)
+	for s := 0; s < len(p); s++ {
+		hi := len(p)
+		if maxLen > 0 && s+maxLen < hi {
+			hi = s + maxLen
+		}
+		for j := range prev {
+			prev[j] = 0
+		}
+		var wsub float64
+		for t := s; t < hi; t++ {
+			wsub += weight(p[t])
+			cur[0] = 0
+			for j := 0; j < len(q); j++ {
+				if p[t] == q[j] {
+					cur[j+1] = prev[j] + weight(p[t])
+				} else if prev[j+1] >= cur[j] {
+					cur[j+1] = prev[j+1]
+				} else {
+					cur[j+1] = cur[j]
+				}
+			}
+			prev, cur = cur, prev
+			sc := score(prev[len(q)], wsub)
+			if sc > best.Score || (sc == best.Score && best.OK && t-s < best.T-best.S) {
+				best = BestSub{S: s, T: t, Score: sc, OK: true}
+			}
+		}
+	}
+	return best
+}
+
+// BestSubLCSS returns the subtrajectory of p with the largest ε-matching
+// LCSS count against the point sequence q, ties broken by shortest length.
+func BestSubLCSS(p, q []geo.Point, eps float64, maxLen int) BestSub {
+	best := BestSub{Score: math.Inf(-1)}
+	eps2 := eps * eps
+	prev := make([]int, len(q)+1)
+	cur := make([]int, len(q)+1)
+	for s := 0; s < len(p); s++ {
+		hi := len(p)
+		if maxLen > 0 && s+maxLen < hi {
+			hi = s + maxLen
+		}
+		for j := range prev {
+			prev[j] = 0
+		}
+		for t := s; t < hi; t++ {
+			cur[0] = 0
+			for j := 0; j < len(q); j++ {
+				if p[t].Dist2(q[j]) <= eps2 {
+					cur[j+1] = prev[j] + 1
+				} else if prev[j+1] >= cur[j] {
+					cur[j+1] = prev[j+1]
+				} else {
+					cur[j+1] = cur[j]
+				}
+			}
+			prev, cur = cur, prev
+			sc := float64(prev[len(q)])
+			if sc > best.Score || (sc == best.Score && best.OK && t-s < best.T-best.S) {
+				best = BestSub{S: s, T: t, Score: sc, OK: true}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,268 @@
+package simfuncs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/simfuncs"
+	"subtraj/internal/traj"
+)
+
+func randPts(rng *rand.Rand, n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return out
+}
+
+func randSyms(rng *rand.Rand, alpha, n int) []traj.Symbol {
+	out := make([]traj.Symbol, n)
+	for i := range out {
+		out[i] = traj.Symbol(rng.Intn(alpha))
+	}
+	return out
+}
+
+func TestDTWProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		p := randPts(rng, 1+rng.Intn(10))
+		q := randPts(rng, 1+rng.Intn(10))
+		d := simfuncs.DTW(p, q)
+		if d < 0 {
+			t.Fatal("negative DTW")
+		}
+		if simfuncs.DTW(p, p) != 0 {
+			t.Fatal("DTW(p,p) != 0")
+		}
+		if math.Abs(d-simfuncs.DTW(q, p)) > 1e-9*(1+d) {
+			t.Fatal("DTW asymmetric")
+		}
+	}
+	if !math.IsInf(simfuncs.DTW(nil, randPts(rng, 3)), 1) {
+		t.Fatal("DTW with empty sequence must be +Inf")
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	p := []geo.Point{{X: 0}, {X: 1}, {X: 2}}
+	q := []geo.Point{{X: 0}, {X: 2}}
+	// Optimal warping: (0,0), (1,?) (2,2): cost 0 + min(1,1) + 0 = 1
+	// (squared distances).
+	if got := simfuncs.DTW(p, q); got != 1 {
+		t.Fatalf("DTW = %v, want 1", got)
+	}
+}
+
+// bruteFrechet enumerates all monotone couplings recursively (exponential
+// — tiny inputs only).
+func bruteFrechet(p, q []geo.Point, i, j int) float64 {
+	d := p[i].Dist(q[j])
+	if i == 0 && j == 0 {
+		return d
+	}
+	best := math.Inf(1)
+	if i > 0 {
+		best = math.Min(best, bruteFrechet(p, q, i-1, j))
+	}
+	if j > 0 {
+		best = math.Min(best, bruteFrechet(p, q, i, j-1))
+	}
+	if i > 0 && j > 0 {
+		best = math.Min(best, bruteFrechet(p, q, i-1, j-1))
+	}
+	return math.Max(best, d)
+}
+
+func TestDiscreteFrechetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		p := randPts(rng, 1+rng.Intn(6))
+		q := randPts(rng, 1+rng.Intn(6))
+		got := simfuncs.DiscreteFrechet(p, q)
+		want := bruteFrechet(p, q, len(p)-1, len(q)-1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Frechet %v != brute %v", got, want)
+		}
+	}
+}
+
+func TestDiscreteFrechetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		p := randPts(rng, 1+rng.Intn(8))
+		q := randPts(rng, 1+rng.Intn(8))
+		d := simfuncs.DiscreteFrechet(p, q)
+		if d < 0 {
+			t.Fatal("negative Frechet")
+		}
+		if simfuncs.DiscreteFrechet(p, p) != 0 {
+			t.Fatal("Frechet(p,p) != 0")
+		}
+		if rev := simfuncs.DiscreteFrechet(q, p); math.Abs(d-rev) > 1e-9 {
+			t.Fatal("Frechet asymmetric")
+		}
+		// Fréchet dominates the endpoint distances and is dominated by
+		// DTW's max step... instead check the standard lower bound:
+		// d ≥ max(d(p1,q1), d(pm,qn)).
+		lb := math.Max(p[0].Dist(q[0]), p[len(p)-1].Dist(q[len(q)-1]))
+		if d < lb-1e-9 {
+			t.Fatalf("Frechet %v below endpoint bound %v", d, lb)
+		}
+	}
+	if !math.IsInf(simfuncs.DiscreteFrechet(nil, randPts(rng, 2)), 1) {
+		t.Fatal("empty sequence must give +Inf")
+	}
+}
+
+// refLCS is the classic integer LCS on exact symbol equality.
+func refLCS(a, b []traj.Symbol) int {
+	d := make([][]int, len(a)+1)
+	for i := range d {
+		d[i] = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				d[i][j] = d[i-1][j-1] + 1
+			} else if d[i-1][j] > d[i][j-1] {
+				d[i][j] = d[i-1][j]
+			} else {
+				d[i][j] = d[i][j-1]
+			}
+		}
+	}
+	return d[len(a)][len(b)]
+}
+
+func TestWeightedLCSUnitWeightsEqualsLCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	unit := func(traj.Symbol) float64 { return 1 }
+	for trial := 0; trial < 200; trial++ {
+		a := randSyms(rng, 4, rng.Intn(12))
+		b := randSyms(rng, 4, rng.Intn(12))
+		if got, want := simfuncs.WeightedLCS(a, b, unit), float64(refLCS(a, b)); got != want {
+			t.Fatalf("WLCS %v != LCS %v", got, want)
+		}
+	}
+}
+
+func TestWeightedLCSBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := func(s traj.Symbol) float64 { return float64(s) + 1 }
+	for trial := 0; trial < 100; trial++ {
+		a := randSyms(rng, 5, rng.Intn(10))
+		b := randSyms(rng, 5, rng.Intn(10))
+		l := simfuncs.WeightedLCS(a, b, w)
+		if l < 0 {
+			t.Fatal("negative WLCS")
+		}
+		if l > simfuncs.SumWeights(a, w)+1e-9 || l > simfuncs.SumWeights(b, w)+1e-9 {
+			t.Fatal("WLCS exceeds string weight")
+		}
+		if simfuncs.WeightedLCS(a, a, w) != simfuncs.SumWeights(a, w) {
+			t.Fatal("WLCS(a,a) != w(a)")
+		}
+	}
+}
+
+func TestLCSSMatchesUnitWLCSForTinyEps(t *testing.T) {
+	// With ε = 0 and distinct integer coordinates, LCSS equals exact LCS.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		a := randSyms(rng, 5, rng.Intn(10))
+		b := randSyms(rng, 5, rng.Intn(10))
+		toPts := func(s []traj.Symbol) []geo.Point {
+			out := make([]geo.Point, len(s))
+			for i, v := range s {
+				out[i] = geo.Point{X: float64(v) * 10}
+			}
+			return out
+		}
+		if got, want := simfuncs.LCSS(toPts(a), toPts(b), 0.5), refLCS(a, b); got != want {
+			t.Fatalf("LCSS %v != %v", got, want)
+		}
+	}
+}
+
+func TestLCRSRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := func(s traj.Symbol) float64 { return float64(s%3) + 1 }
+	for trial := 0; trial < 100; trial++ {
+		a := randSyms(rng, 6, 1+rng.Intn(10))
+		b := randSyms(rng, 6, 1+rng.Intn(10))
+		r := simfuncs.LCRS(a, b, w)
+		if r < 0 || r > 1 {
+			t.Fatalf("LCRS out of [0,1]: %v", r)
+		}
+		if simfuncs.LCRS(a, a, w) != 1 {
+			t.Fatal("LCRS(a,a) != 1")
+		}
+	}
+}
+
+func TestBestSubDTWFindsEmbeddedQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := randPts(rng, 5)
+	// p embeds q exactly at [3, 7].
+	p := append(append(randPts(rng, 3), q...), randPts(rng, 4)...)
+	best := simfuncs.BestSubDTW(p, q, 0)
+	if !best.OK {
+		t.Fatal("no result")
+	}
+	if best.Score != 0 {
+		t.Fatalf("embedded query not found: score %v", best.Score)
+	}
+	if best.S != 3 || best.T != 7 {
+		t.Fatalf("wrong bounds: [%d,%d]", best.S, best.T)
+	}
+}
+
+func TestBestSubWLCSFindsEmbeddedQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := func(traj.Symbol) float64 { return 1 }
+	q := []traj.Symbol{100, 101, 102, 103}
+	p := append(append(randSyms(rng, 5, 4), q...), randSyms(rng, 5, 3)...)
+	score := func(l, wsub float64) float64 { return l } // LORS
+	best := simfuncs.BestSubWLCS(p, q, w, score, 0)
+	if !best.OK || best.Score != 4 {
+		t.Fatalf("embedded query not found: %+v", best)
+	}
+	// Shortest-tie-break: bounds must be exactly the embedded region.
+	if best.S != 4 || best.T != 7 {
+		t.Fatalf("wrong bounds: [%d,%d]", best.S, best.T)
+	}
+}
+
+func TestBestSubWLCSRespectsMaxLen(t *testing.T) {
+	w := func(traj.Symbol) float64 { return 1 }
+	p := []traj.Symbol{1, 2, 3, 4, 5, 6}
+	q := []traj.Symbol{1, 2, 3, 4, 5, 6}
+	best := simfuncs.BestSubWLCS(p, q, w, func(l, _ float64) float64 { return l }, 3)
+	if best.T-best.S+1 > 3 {
+		t.Fatalf("maxLen violated: [%d,%d]", best.S, best.T)
+	}
+	if best.Score != 3 {
+		t.Fatalf("score %v, want 3", best.Score)
+	}
+}
+
+func TestSURSLORSRelationUsesWLCS(t *testing.T) {
+	// Appendix F identity is covered in the wed package tests; here we
+	// check LCRS's algebraic relation to LORS explicitly:
+	// LCRS = LORS / (w(x) + w(y) − LORS).
+	rng := rand.New(rand.NewSource(8))
+	w := func(s traj.Symbol) float64 { return float64(s) + 0.5 }
+	for trial := 0; trial < 100; trial++ {
+		a := randSyms(rng, 5, 1+rng.Intn(8))
+		b := randSyms(rng, 5, 1+rng.Intn(8))
+		l := simfuncs.LORS(a, b, w)
+		want := l / (simfuncs.SumWeights(a, w) + simfuncs.SumWeights(b, w) - l)
+		if got := simfuncs.LCRS(a, b, w); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LCRS %v != %v", got, want)
+		}
+	}
+}

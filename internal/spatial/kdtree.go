@@ -1,0 +1,272 @@
+// Package spatial provides the kd-tree spatial index the paper uses (§4.2,
+// Figure 2) to compute substitution neighbourhoods B(q) for coordinate-aware
+// cost functions (EDR, ERP) by range search, and the exact filtering cost
+// c(q) for ERP by a nearest-neighbour-beyond-radius query.
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"subtraj/internal/geo"
+)
+
+// KDTree is a static 2-d tree over a point set. Points are referenced by
+// their index in the slice passed to Build, so the tree can index road
+// network vertices directly by VertexID.
+type KDTree struct {
+	pts   []geo.Point
+	nodes []kdNode
+	root  int32
+}
+
+type kdNode struct {
+	idx         int32 // index into pts
+	left, right int32 // node indexes, -1 for none
+	axis        uint8 // 0 = X, 1 = Y
+	bounds      geo.Rect
+}
+
+// Build constructs a balanced kd-tree over pts. The slice is retained (not
+// copied); callers must not mutate the coordinates afterwards.
+func Build(pts []geo.Point) *KDTree {
+	t := &KDTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	order := make([]int32, len(pts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(order, 0)
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+func (t *KDTree) build(order []int32, depth int) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := uint8(depth & 1)
+	mid := len(order) / 2
+	if axis == 0 {
+		sort.Slice(order, func(i, j int) bool { return t.pts[order[i]].X < t.pts[order[j]].X })
+	} else {
+		sort.Slice(order, func(i, j int) bool { return t.pts[order[i]].Y < t.pts[order[j]].Y })
+	}
+	bounds := geo.Rect{Min: t.pts[order[0]], Max: t.pts[order[0]]}
+	for _, i := range order[1:] {
+		bounds = bounds.Expand(t.pts[i])
+	}
+	n := kdNode{idx: order[mid], axis: axis, bounds: bounds, left: -1, right: -1}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// Range appends to dst the indexes of all points within Euclidean distance
+// r of center (inclusive) and returns the extended slice. This implements
+// the B(q) range query of Definition 4 for Euclidean cost functions.
+func (t *KDTree) Range(center geo.Point, r float64, dst []int32) []int32 {
+	if t.root < 0 || r < 0 {
+		return dst
+	}
+	r2 := r * r
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		n := &t.nodes[ni]
+		if geo.Dist2ToRect(center, n.bounds) > r2 {
+			return
+		}
+		if center.Dist2(t.pts[n.idx]) <= r2 {
+			dst = append(dst, n.idx)
+		}
+		if n.left >= 0 {
+			rec(n.left)
+		}
+		if n.right >= 0 {
+			rec(n.right)
+		}
+	}
+	rec(t.root)
+	return dst
+}
+
+// Nearest returns the index of the point closest to q and its distance.
+// It returns (-1, +Inf-like) on an empty tree; callers should check Len.
+func (t *KDTree) Nearest(q geo.Point) (int32, float64) {
+	idx, d2 := t.nearestBeyond2(q, -1)
+	if idx < 0 {
+		return -1, 0
+	}
+	return idx, sqrt(d2)
+}
+
+// NearestBeyond returns the index of the point nearest to q among points at
+// distance strictly greater than r, along with that distance. This is
+// exactly the quantity needed for the ERP filtering cost c(q) (Eq. 7): the
+// cheapest substitution to a symbol outside the neighbourhood B(q).
+// It returns (-1, 0) if every indexed point lies within r.
+func (t *KDTree) NearestBeyond(q geo.Point, r float64) (int32, float64) {
+	idx, d2 := t.nearestBeyond2(q, r*r)
+	if idx < 0 {
+		return -1, 0
+	}
+	return idx, sqrt(d2)
+}
+
+// nearestBeyond2 returns the nearest point with squared distance > min2
+// (use min2 < 0 for an unconstrained nearest-neighbour query).
+func (t *KDTree) nearestBeyond2(q geo.Point, min2 float64) (int32, float64) {
+	best := int32(-1)
+	bestD2 := infinity
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		n := &t.nodes[ni]
+		if geo.Dist2ToRect(q, n.bounds) >= bestD2 {
+			return
+		}
+		d2 := q.Dist2(t.pts[n.idx])
+		if d2 > min2 && d2 < bestD2 {
+			best, bestD2 = n.idx, d2
+		}
+		// Descend the side containing q first for tighter pruning.
+		var first, second int32
+		var qv, nv float64
+		if n.axis == 0 {
+			qv, nv = q.X, t.pts[n.idx].X
+		} else {
+			qv, nv = q.Y, t.pts[n.idx].Y
+		}
+		if qv < nv {
+			first, second = n.left, n.right
+		} else {
+			first, second = n.right, n.left
+		}
+		if first >= 0 {
+			rec(first)
+		}
+		if second >= 0 {
+			rec(second)
+		}
+	}
+	if t.root >= 0 {
+		rec(t.root)
+	}
+	return best, bestD2
+}
+
+// KNearest returns the indexes of the k points closest to q, ordered by
+// ascending distance. If fewer than k points are indexed, all are returned.
+func (t *KDTree) KNearest(q geo.Point, k int) []int32 {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := &distHeap{}
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		n := &t.nodes[ni]
+		if len(h.d) == k && geo.Dist2ToRect(q, n.bounds) >= h.d[0] {
+			return
+		}
+		d2 := q.Dist2(t.pts[n.idx])
+		if len(h.d) < k {
+			h.push(n.idx, d2)
+		} else if d2 < h.d[0] {
+			h.pop()
+			h.push(n.idx, d2)
+		}
+		var first, second int32
+		var qv, nv float64
+		if n.axis == 0 {
+			qv, nv = q.X, t.pts[n.idx].X
+		} else {
+			qv, nv = q.Y, t.pts[n.idx].Y
+		}
+		if qv < nv {
+			first, second = n.left, n.right
+		} else {
+			first, second = n.right, n.left
+		}
+		if first >= 0 {
+			rec(first)
+		}
+		if second >= 0 {
+			rec(second)
+		}
+	}
+	rec(t.root)
+	// Drain the max-heap into ascending order.
+	out := make([]int32, len(h.d))
+	for i := len(h.d) - 1; i >= 0; i-- {
+		out[i] = h.top()
+		h.pop()
+	}
+	return out
+}
+
+const infinity = 1e300
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// distHeap is a small max-heap on squared distance used by KNearest.
+type distHeap struct {
+	idx []int32
+	d   []float64
+}
+
+func (h *distHeap) top() int32 { return h.idx[0] }
+
+func (h *distHeap) push(i int32, d float64) {
+	h.idx = append(h.idx, i)
+	h.d = append(h.d, d)
+	c := len(h.d) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if h.d[p] >= h.d[c] {
+			break
+		}
+		h.swap(p, c)
+		c = p
+	}
+}
+
+func (h *distHeap) pop() {
+	last := len(h.d) - 1
+	h.swap(0, last)
+	h.idx = h.idx[:last]
+	h.d = h.d[:last]
+	p := 0
+	for {
+		l, r := 2*p+1, 2*p+2
+		big := p
+		if l < last && h.d[l] > h.d[big] {
+			big = l
+		}
+		if r < last && h.d[r] > h.d[big] {
+			big = r
+		}
+		if big == p {
+			return
+		}
+		h.swap(p, big)
+		p = big
+	}
+}
+
+func (h *distHeap) swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}

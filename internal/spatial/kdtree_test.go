@@ -1,0 +1,170 @@
+package spatial_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/spatial"
+)
+
+func randPoints(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+func bruteRange(pts []geo.Point, c geo.Point, r float64) map[int32]bool {
+	out := map[int32]bool{}
+	for i, p := range pts {
+		if c.Dist(p) <= r {
+			out[int32(i)] = true
+		}
+	}
+	return out
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(300))
+		tree := spatial.Build(pts)
+		for k := 0; k < 20; k++ {
+			c := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			r := rng.Float64() * 300
+			want := bruteRange(pts, c, r)
+			got := tree.Range(c, r, nil)
+			if len(got) != len(want) {
+				t.Fatalf("range size %d != %d", len(got), len(want))
+			}
+			for _, idx := range got {
+				if !want[idx] {
+					t.Fatalf("spurious index %d", idx)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(200))
+		tree := spatial.Build(pts)
+		for k := 0; k < 30; k++ {
+			q := geo.Point{X: rng.Float64() * 1200, Y: rng.Float64() * 1200}
+			gi, gd := tree.Nearest(q)
+			bd := math.Inf(1)
+			for _, p := range pts {
+				if d := q.Dist(p); d < bd {
+					bd = d
+				}
+			}
+			if math.Abs(gd-bd) > 1e-9 {
+				t.Fatalf("nearest distance %v != %v (idx %d)", gd, bd, gi)
+			}
+		}
+	}
+}
+
+func TestNearestBeyondMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(200))
+		tree := spatial.Build(pts)
+		for k := 0; k < 30; k++ {
+			q := pts[rng.Intn(len(pts))] // on-point queries: the ERP c(q) case
+			r := rng.Float64() * 100
+			gi, gd := tree.NearestBeyond(q, r)
+			bd := math.Inf(1)
+			found := false
+			for _, p := range pts {
+				if d := q.Dist(p); d > r && d < bd {
+					bd, found = d, true
+				}
+			}
+			if found != (gi >= 0) {
+				t.Fatalf("beyond existence mismatch: brute %v vs tree %v", found, gi >= 0)
+			}
+			if found && math.Abs(gd-bd) > 1e-9 {
+				t.Fatalf("beyond distance %v != %v", gd, bd)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(150))
+		tree := spatial.Build(pts)
+		for _, k := range []int{1, 3, 7, len(pts), len(pts) + 5} {
+			q := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			got := tree.KNearest(q, k)
+			want := make([]int32, len(pts))
+			for i := range want {
+				want[i] = int32(i)
+			}
+			sort.Slice(want, func(i, j int) bool {
+				return q.Dist2(pts[want[i]]) < q.Dist2(pts[want[j]])
+			})
+			if k < len(want) {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				// Distances must agree (indices may differ under ties).
+				gd := q.Dist2(pts[got[i]])
+				wd := q.Dist2(pts[want[i]])
+				if math.Abs(gd-wd) > 1e-9 {
+					t.Fatalf("k=%d rank %d: dist2 %v != %v", k, i, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := spatial.Build(nil)
+	if got := tree.Range(geo.Point{}, 10, nil); len(got) != 0 {
+		t.Errorf("range on empty tree returned %v", got)
+	}
+	if idx, _ := tree.Nearest(geo.Point{}); idx != -1 {
+		t.Errorf("nearest on empty tree returned %d", idx)
+	}
+	if got := tree.KNearest(geo.Point{}, 3); got != nil {
+		t.Errorf("knearest on empty tree returned %v", got)
+	}
+}
+
+func TestRangeQuickProperty(t *testing.T) {
+	// Property: every returned point is within r; count matches brute.
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 400)
+	tree := spatial.Build(pts)
+	f := func(cx, cy, rRaw float64) bool {
+		c := geo.Point{X: math.Mod(math.Abs(cx), 1000), Y: math.Mod(math.Abs(cy), 1000)}
+		r := math.Mod(math.Abs(rRaw), 400)
+		got := tree.Range(c, r, nil)
+		want := bruteRange(pts, c, r)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, idx := range got {
+			if c.Dist(pts[idx]) > r+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"subtraj/internal/geo"
+)
+
+// RTree is a static, STR-bulk-loaded R-tree over a point set — the
+// alternative spatial index the paper names alongside the kd-tree
+// (Figure 2: "kd-tree/R-tree (for spatial range search)"). It answers the
+// same queries as KDTree, so cost models treat either as a black box.
+type RTree struct {
+	pts   []geo.Point
+	nodes []rtNode
+	root  int32
+}
+
+// rtFanout is the maximum children per node; 16 balances depth against
+// scan width for point data.
+const rtFanout = 16
+
+type rtNode struct {
+	bounds geo.Rect
+	// leaf entries: pts indexes; internal entries: node indexes.
+	children []int32
+	leaf     bool
+}
+
+// BuildRTree constructs the tree with sort-tile-recursive packing. The
+// point slice is retained; do not mutate.
+func BuildRTree(pts []geo.Point) *RTree {
+	t := &RTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	// Leaf level: STR packing.
+	order := make([]int32, len(pts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+	numLeaves := (len(pts) + rtFanout - 1) / rtFanout
+	slabs := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	slabSize := (len(pts) + slabs - 1) / slabs
+	var level []int32
+	for s := 0; s < len(order); s += slabSize {
+		e := s + slabSize
+		if e > len(order) {
+			e = len(order)
+		}
+		slab := order[s:e]
+		sort.Slice(slab, func(a, b int) bool { return pts[slab[a]].Y < pts[slab[b]].Y })
+		for l := 0; l < len(slab); l += rtFanout {
+			r := l + rtFanout
+			if r > len(slab) {
+				r = len(slab)
+			}
+			entries := append([]int32(nil), slab[l:r]...)
+			bounds := geo.Rect{Min: pts[entries[0]], Max: pts[entries[0]]}
+			for _, i := range entries[1:] {
+				bounds = bounds.Expand(pts[i])
+			}
+			t.nodes = append(t.nodes, rtNode{bounds: bounds, children: entries, leaf: true})
+			level = append(level, int32(len(t.nodes)-1))
+		}
+	}
+	// Upper levels: pack by center X (simple and adequate for static
+	// trees over already-tiled leaves).
+	for len(level) > 1 {
+		sort.Slice(level, func(a, b int) bool {
+			ba, bb := t.nodes[level[a]].bounds, t.nodes[level[b]].bounds
+			return ba.Min.X+ba.Max.X < bb.Min.X+bb.Max.X
+		})
+		var next []int32
+		for l := 0; l < len(level); l += rtFanout {
+			r := l + rtFanout
+			if r > len(level) {
+				r = len(level)
+			}
+			entries := append([]int32(nil), level[l:r]...)
+			bounds := t.nodes[entries[0]].bounds
+			for _, ni := range entries[1:] {
+				b := t.nodes[ni].bounds
+				bounds = bounds.Expand(b.Min).Expand(b.Max)
+			}
+			t.nodes = append(t.nodes, rtNode{bounds: bounds, children: entries})
+			next = append(next, int32(len(t.nodes)-1))
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *RTree) Len() int { return len(t.pts) }
+
+// Range appends the indexes of all points within distance r of center
+// (inclusive) to dst.
+func (t *RTree) Range(center geo.Point, r float64, dst []int32) []int32 {
+	if t.root < 0 || r < 0 {
+		return dst
+	}
+	r2 := r * r
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		n := &t.nodes[ni]
+		if geo.Dist2ToRect(center, n.bounds) > r2 {
+			return
+		}
+		if n.leaf {
+			for _, pi := range n.children {
+				if center.Dist2(t.pts[pi]) <= r2 {
+					dst = append(dst, pi)
+				}
+			}
+			return
+		}
+		for _, ci := range n.children {
+			rec(ci)
+		}
+	}
+	rec(t.root)
+	return dst
+}
+
+// NearestBeyond returns the point nearest to q among those at distance
+// strictly greater than r (the ERP filtering-cost query); (-1, 0) if none
+// exists. Best-first search over node rectangles.
+func (t *RTree) NearestBeyond(q geo.Point, r float64) (int32, float64) {
+	if t.root < 0 {
+		return -1, 0
+	}
+	r2 := r * r
+	best := int32(-1)
+	bestD2 := math.MaxFloat64
+	h := &rtHeap{}
+	h.push(t.root, geo.Dist2ToRect(q, t.nodes[t.root].bounds))
+	for h.len() > 0 {
+		ni, d2 := h.pop()
+		if d2 >= bestD2 {
+			break // every remaining rectangle is farther than the best point
+		}
+		n := &t.nodes[ni]
+		if n.leaf {
+			for _, pi := range n.children {
+				pd2 := q.Dist2(t.pts[pi])
+				if pd2 > r2 && pd2 < bestD2 {
+					best, bestD2 = pi, pd2
+				}
+			}
+			continue
+		}
+		for _, ci := range n.children {
+			cd2 := geo.Dist2ToRect(q, t.nodes[ci].bounds)
+			if cd2 < bestD2 {
+				h.push(ci, cd2)
+			}
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// Nearest returns the closest point to q; (-1, 0) for an empty tree.
+func (t *RTree) Nearest(q geo.Point) (int32, float64) {
+	return t.NearestBeyond(q, -1)
+}
+
+// rtHeap is a min-heap on squared rectangle distance.
+type rtHeap struct {
+	ni []int32
+	d  []float64
+}
+
+func (h *rtHeap) len() int { return len(h.ni) }
+
+func (h *rtHeap) push(n int32, d float64) {
+	h.ni = append(h.ni, n)
+	h.d = append(h.d, d)
+	c := len(h.d) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if h.d[p] <= h.d[c] {
+			break
+		}
+		h.swap(p, c)
+		c = p
+	}
+}
+
+func (h *rtHeap) pop() (int32, float64) {
+	n, d := h.ni[0], h.d[0]
+	last := len(h.d) - 1
+	h.swap(0, last)
+	h.ni = h.ni[:last]
+	h.d = h.d[:last]
+	p := 0
+	for {
+		l, r := 2*p+1, 2*p+2
+		small := p
+		if l < last && h.d[l] < h.d[small] {
+			small = l
+		}
+		if r < last && h.d[r] < h.d[small] {
+			small = r
+		}
+		if small == p {
+			break
+		}
+		h.swap(p, small)
+		p = small
+	}
+	return n, d
+}
+
+func (h *rtHeap) swap(i, j int) {
+	h.ni[i], h.ni[j] = h.ni[j], h.ni[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}

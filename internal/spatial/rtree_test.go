@@ -1,0 +1,115 @@
+package spatial_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/spatial"
+)
+
+func TestRTreeRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(400))
+		tree := spatial.BuildRTree(pts)
+		if tree.Len() != len(pts) {
+			t.Fatalf("len %d != %d", tree.Len(), len(pts))
+		}
+		for k := 0; k < 20; k++ {
+			c := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			r := rng.Float64() * 300
+			want := bruteRange(pts, c, r)
+			got := tree.Range(c, r, nil)
+			if len(got) != len(want) {
+				t.Fatalf("range size %d != %d", len(got), len(want))
+			}
+			for _, idx := range got {
+				if !want[idx] {
+					t.Fatalf("spurious index %d", idx)
+				}
+			}
+		}
+	}
+}
+
+func TestRTreeNearestBeyondMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(300))
+		tree := spatial.BuildRTree(pts)
+		for k := 0; k < 30; k++ {
+			q := pts[rng.Intn(len(pts))]
+			r := rng.Float64() * 100
+			gi, gd := tree.NearestBeyond(q, r)
+			bd := math.Inf(1)
+			found := false
+			for _, p := range pts {
+				if d := q.Dist(p); d > r && d < bd {
+					bd, found = d, true
+				}
+			}
+			if found != (gi >= 0) {
+				t.Fatalf("existence mismatch: brute %v, rtree %v", found, gi >= 0)
+			}
+			if found && math.Abs(gd-bd) > 1e-9 {
+				t.Fatalf("distance %v != %v", gd, bd)
+			}
+		}
+	}
+}
+
+func TestRTreeMatchesKDTree(t *testing.T) {
+	// The two indexes must be interchangeable black boxes (Figure 2).
+	rng := rand.New(rand.NewSource(13))
+	pts := randPoints(rng, 500)
+	kd := spatial.Build(pts)
+	rt := spatial.BuildRTree(pts)
+	for k := 0; k < 100; k++ {
+		c := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		r := rng.Float64() * 250
+		a := kd.Range(c, r, nil)
+		b := rt.Range(c, r, nil)
+		if len(a) != len(b) {
+			t.Fatalf("kd %d results, rtree %d", len(a), len(b))
+		}
+		ai, di := kd.NearestBeyond(c, r/2)
+		bi, db := rt.NearestBeyond(c, r/2)
+		if (ai >= 0) != (bi >= 0) || (ai >= 0 && math.Abs(di-db) > 1e-9) {
+			t.Fatalf("nearest-beyond disagreement: kd (%d,%v) rtree (%d,%v)", ai, di, bi, db)
+		}
+	}
+}
+
+func TestRTreeEmpty(t *testing.T) {
+	tree := spatial.BuildRTree(nil)
+	if got := tree.Range(geo.Point{}, 5, nil); len(got) != 0 {
+		t.Fatal("range on empty tree")
+	}
+	if i, _ := tree.NearestBeyond(geo.Point{}, 0); i != -1 {
+		t.Fatal("nearest on empty tree")
+	}
+	if i, _ := tree.Nearest(geo.Point{}); i != -1 {
+		t.Fatal("nearest on empty tree")
+	}
+}
+
+func TestRTreeNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := randPoints(rng, 200)
+	rt := spatial.BuildRTree(pts)
+	for k := 0; k < 50; k++ {
+		q := geo.Point{X: rng.Float64() * 1200, Y: rng.Float64() * 1200}
+		_, gd := rt.Nearest(q)
+		bd := math.Inf(1)
+		for _, p := range pts {
+			if d := q.Dist(p); d < bd {
+				bd = d
+			}
+		}
+		if math.Abs(gd-bd) > 1e-9 {
+			t.Fatalf("nearest %v != %v", gd, bd)
+		}
+	}
+}

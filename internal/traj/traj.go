@@ -1,0 +1,180 @@
+// Package traj defines the trajectory data model of §2.1: a trajectory is a
+// pair (P, T) where P is a path on the road network (a string over the
+// alphabet V or E) and T is a timestamp per vertex. A dataset is an
+// in-memory collection of trajectories addressed by dense IDs, matching the
+// paper's main-memory setting.
+package traj
+
+import (
+	"fmt"
+
+	"subtraj/internal/roadnet"
+)
+
+// Symbol is a trajectory element: a vertex ID under vertex representation
+// or an edge ID under edge representation. WED cost models interpret it.
+type Symbol = int32
+
+// Representation says how a path is encoded.
+type Representation uint8
+
+const (
+	// VertexRep paths are sequences of vertex IDs.
+	VertexRep Representation = iota
+	// EdgeRep paths are sequences of edge IDs.
+	EdgeRep
+)
+
+func (r Representation) String() string {
+	switch r {
+	case VertexRep:
+		return "vertex"
+	case EdgeRep:
+		return "edge"
+	default:
+		return fmt.Sprintf("Representation(%d)", uint8(r))
+	}
+}
+
+// Trajectory is one network-constrained trajectory.
+type Trajectory struct {
+	// Path is the string over the alphabet (vertex or edge IDs).
+	Path []Symbol
+	// Times holds one timestamp (seconds since the dataset epoch) per
+	// vertex of the vertex-representation path. For edge representation,
+	// Times[i] is the time the trajectory entered edge Path[i], and
+	// Times[len(Path)] the arrival at the final vertex; its length is
+	// len(Path)+1 in both representations' vertex count terms. Times may
+	// be nil when the workload carries no temporal information.
+	Times []float64
+}
+
+// Len returns the string length |P|.
+func (t *Trajectory) Len() int { return len(t.Path) }
+
+// Departure returns the first timestamp; ok is false without temporal data.
+func (t *Trajectory) Departure() (float64, bool) {
+	if len(t.Times) == 0 {
+		return 0, false
+	}
+	return t.Times[0], true
+}
+
+// Arrival returns the last timestamp; ok is false without temporal data.
+func (t *Trajectory) Arrival() (float64, bool) {
+	if len(t.Times) == 0 {
+		return 0, false
+	}
+	return t.Times[len(t.Times)-1], true
+}
+
+// Interval returns the [departure, arrival] interval I^(id) used by the
+// temporal pre-filter (§4.3).
+func (t *Trajectory) Interval() (lo, hi float64, ok bool) {
+	if len(t.Times) == 0 {
+		return 0, 0, false
+	}
+	return t.Times[0], t.Times[len(t.Times)-1], true
+}
+
+// Dataset is an in-memory trajectory collection. IDs are dense indexes.
+type Dataset struct {
+	Rep   Representation
+	Trajs []Trajectory
+}
+
+// NewDataset creates an empty dataset with the given representation.
+func NewDataset(rep Representation) *Dataset {
+	return &Dataset{Rep: rep}
+}
+
+// Len returns the number of trajectories N.
+func (d *Dataset) Len() int { return len(d.Trajs) }
+
+// Add appends a trajectory and returns its ID.
+func (d *Dataset) Add(t Trajectory) int32 {
+	d.Trajs = append(d.Trajs, t)
+	return int32(len(d.Trajs) - 1)
+}
+
+// Get returns the trajectory with the given ID.
+func (d *Dataset) Get(id int32) *Trajectory { return &d.Trajs[id] }
+
+// Path returns the path of trajectory id (accessTrajectory in Alg. 4).
+func (d *Dataset) Path(id int32) []Symbol { return d.Trajs[id].Path }
+
+// AvgLen returns the average path length, a dataset statistic reported in
+// Table 2.
+func (d *Dataset) AvgLen() float64 {
+	if len(d.Trajs) == 0 {
+		return 0
+	}
+	var sum int
+	for i := range d.Trajs {
+		sum += len(d.Trajs[i].Path)
+	}
+	return float64(sum) / float64(len(d.Trajs))
+}
+
+// TotalSymbols returns Σ|P|, the total postings count of the inverted
+// index.
+func (d *Dataset) TotalSymbols() int {
+	var sum int
+	for i := range d.Trajs {
+		sum += len(d.Trajs[i].Path)
+	}
+	return sum
+}
+
+// Slice returns a shallow dataset containing only the first n trajectories
+// (used by the dataset-size sweeps of Figures 8 and 10). The underlying
+// trajectories are shared.
+func (d *Dataset) Slice(n int) *Dataset {
+	if n > len(d.Trajs) {
+		n = len(d.Trajs)
+	}
+	return &Dataset{Rep: d.Rep, Trajs: d.Trajs[:n]}
+}
+
+// ToEdgeRep converts a vertex-representation dataset into edge
+// representation on graph g. Timestamps are preserved (Times keeps the
+// per-vertex semantics; see Trajectory.Times). Trajectories of length < 2
+// vertices become empty edge strings and are dropped.
+func (d *Dataset) ToEdgeRep(g *roadnet.Graph) (*Dataset, error) {
+	if d.Rep != VertexRep {
+		return nil, fmt.Errorf("traj: ToEdgeRep requires a vertex-representation dataset")
+	}
+	out := NewDataset(EdgeRep)
+	for id := range d.Trajs {
+		t := &d.Trajs[id]
+		if len(t.Path) < 2 {
+			continue
+		}
+		edges, err := g.VertexPathToEdges(t.Path)
+		if err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", id, err)
+		}
+		out.Add(Trajectory{Path: edges, Times: t.Times})
+	}
+	return out, nil
+}
+
+// Match identifies one answer of the subtrajectory similarity search
+// (Definition 3): trajectory ID and the 0-based inclusive subtrajectory
+// bounds [S, T] such that wed(P[S:T+1], Q) < τ. (The paper's (id, s, t) is
+// 1-based inclusive; we keep Go slice conventions internally.)
+type Match struct {
+	ID   int32
+	S, T int32
+	// WED is the distance of the matched subtrajectory to the query.
+	WED float64
+}
+
+// Key returns a comparable dedup key.
+func (m Match) Key() MatchKey { return MatchKey{m.ID, m.S, m.T} }
+
+// MatchKey identifies a match position without its distance.
+type MatchKey struct {
+	ID   int32
+	S, T int32
+}

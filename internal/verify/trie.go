@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// trie caches DP columns for one direction of one τ-subsequence position
+// (§5.2). Each node corresponds to a path prefix P^d[1..k]; its cached
+// column A holds wed(P^d[1..k], Q^d[1..j]) for j = 0..|Q^d|. Children are a
+// first-child/next-sibling list — road-network branching is tiny
+// ("typically, three"), so linear sibling scans beat maps; nodes and
+// columns live in flat arenas to avoid per-node allocations.
+type trie struct {
+	qd    []traj.Symbol
+	qdLen int
+	nodes []trieNode
+	// cols is the column arena: node i's column occupies
+	// cols[nodes[i].col : nodes[i].col+qdLen+1].
+	cols []float64
+	// colMin[i] is the minimum of node i's column — the early-
+	// termination lower bound LB of Eq. 11.
+	colMin []float64
+}
+
+type trieNode struct {
+	sym         traj.Symbol
+	col         int32 // offset into cols
+	firstChild  int32 // node index, -1 if leaf
+	nextSibling int32 // node index, -1 at end of sibling list
+}
+
+const nilNode = int32(-1)
+
+// newTrie builds a trie whose root column is wed(ε, Q^d[1..j]) — the
+// insertion prefix sums.
+func newTrie(costs wed.Costs, qd []traj.Symbol) *trie {
+	t := &trie{qd: qd, qdLen: len(qd)}
+	col := make([]float64, len(qd)+1)
+	for j, s := range qd {
+		col[j+1] = col[j] + costs.Ins(s)
+	}
+	t.nodes = append(t.nodes, trieNode{sym: -1, col: 0, firstChild: nilNode, nextSibling: nilNode})
+	t.cols = append(t.cols, col...)
+	t.colMin = append(t.colMin, 0) // root minimum is col[0] = 0
+	return t
+}
+
+// child returns the child of node ni labelled sym, creating (and computing
+// its DP column via StepDP, Algorithm 6) if absent. computed reports
+// whether a StepDP call happened — a cache miss in the paper's CMR metric.
+func (t *trie) child(ni int32, sym traj.Symbol, costs wed.Costs) (ci int32, computed bool) {
+	for c := t.nodes[ni].firstChild; c != nilNode; c = t.nodes[c].nextSibling {
+		if t.nodes[c].sym == sym {
+			return c, false
+		}
+	}
+	// Cache miss: allocate the node and compute its column from the
+	// parent's.
+	parentCol := t.cols[t.nodes[ni].col : t.nodes[ni].col+int32(t.qdLen)+1]
+	off := int32(len(t.cols))
+	t.cols = append(t.cols, make([]float64, t.qdLen+1)...)
+	newCol := t.cols[off : off+int32(t.qdLen)+1]
+	// StepDP writes into newCol; parentCol and newCol share the arena
+	// but never overlap (newCol is freshly appended).
+	wed.StepDP(costs, t.qd, sym, parentCol, newCol)
+	t.colMin = append(t.colMin, wed.Min(newCol))
+	ci = int32(len(t.nodes))
+	t.nodes = append(t.nodes, trieNode{
+		sym:         sym,
+		col:         off,
+		firstChild:  nilNode,
+		nextSibling: t.nodes[ni].firstChild,
+	})
+	t.nodes[ni].firstChild = ci
+	return ci, true
+}
+
+// tail returns E^d_k for node ni: the last entry of its column,
+// wed(P^d[1..k], Q^d).
+func (t *trie) tail(ni int32) float64 {
+	return t.cols[t.nodes[ni].col+int32(t.qdLen)]
+}
+
+// min returns the column minimum of node ni.
+func (t *trie) min(ni int32) float64 { return t.colMin[ni] }
+
+// numNodes returns the number of cached columns (trie size metric).
+func (t *trie) numNodes() int { return len(t.nodes) }

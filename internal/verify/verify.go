@@ -1,0 +1,296 @@
+// Package verify implements the candidate verification of §5: local
+// verification that runs the WED dynamic programming bidirectionally from
+// the candidate position (Lemma 1), early termination on the column lower
+// bound (Eq. 11), and bidirectional tries that cache DP columns across
+// candidates sharing path prefixes (Algorithms 3–6).
+//
+// Three modes with identical result sets support the paper's ablations:
+//
+//	ModeBT    — local bidirectional DP + trie caching  (the paper's -BT)
+//	ModeLocal — local bidirectional DP, no caching     (isolates §5.1)
+//	ModeSW    — full-trajectory DP scan per candidate  (the paper's -SW)
+package verify
+
+import (
+	"sort"
+
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// Mode selects the verification algorithm.
+type Mode uint8
+
+const (
+	// ModeBT is local verification with bidirectional-trie caching.
+	ModeBT Mode = iota
+	// ModeLocal is local verification without caching.
+	ModeLocal
+	// ModeSW runs a full dynamic-programming scan over each distinct
+	// candidate trajectory (threshold-aware), ignoring positions.
+	ModeSW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBT:
+		return "BT"
+	case ModeLocal:
+		return "Local"
+	case ModeSW:
+		return "SW"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Options tunes the verifier; the zero value is the paper's configuration.
+type Options struct {
+	Mode Mode
+	// DisableEarlyTermination turns off the Eq. 11 lower-bound cut
+	// (ablation for Table 5's UPR).
+	DisableEarlyTermination bool
+}
+
+// Stats instruments a verification run with the quantities of Table 5.
+type Stats struct {
+	// Candidates is the number of (id, j, iq) triples verified.
+	Candidates int
+	// ColumnsAvailable is the total DP-column count a full SW scan of
+	// every candidate would compute (the UPR denominator).
+	ColumnsAvailable int64
+	// ColumnsVisited counts columns that passed early termination —
+	// walked in the trie, whether cached or computed (UPR numerator,
+	// CMR denominator).
+	ColumnsVisited int64
+	// StepDPCalls counts columns actually computed by StepDP (CMR
+	// numerator).
+	StepDPCalls int64
+	// TrieNodes is the total number of cached DP columns across the
+	// bidirectional tries at the end of the query (memory metric of
+	// §5.2; equals StepDPCalls plus one root per trie in BT mode).
+	TrieNodes int
+	// Matches is the number of distinct (id, s, t) results.
+	Matches int
+}
+
+// UPR returns the unpruned position rate (§6.4).
+func (s Stats) UPR() float64 { return ratio(s.ColumnsVisited, s.ColumnsAvailable) }
+
+// CMR returns the cache miss rate (§6.4).
+func (s Stats) CMR() float64 { return ratio(s.StepDPCalls, s.ColumnsVisited) }
+
+// TUR returns the total unpruned rate UPR × CMR.
+func (s Stats) TUR() float64 { return s.UPR() * s.CMR() }
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Candidate mirrors filter.Candidate without importing it (avoiding an
+// internal dependency cycle in callers that adapt other filters).
+type Candidate struct {
+	ID  int32
+	Pos int32
+	IQ  int32
+}
+
+// Verifier verifies the candidates of one query. It is single-use: create
+// per query, feed candidates, then call Results.
+type Verifier struct {
+	costs wed.Costs
+	ds    *traj.Dataset
+	q     []traj.Symbol
+	tau   float64
+	opts  Options
+
+	// Per-iq bidirectional tries (lazily created: only candidate iqs
+	// get tries, which matches Algorithm 3's "for (q, iq) ∈ Q'").
+	tries map[int32]*dirTries
+
+	// results maps a match to its exact WED: by Lemma 1 the minimum of
+	// the three-way decomposition over all candidates covering a match
+	// equals wed(P[s..t], Q).
+	results map[traj.MatchKey]float64
+
+	// swSeen tracks distinct trajectory IDs already scanned in ModeSW.
+	swSeen map[int32]bool
+
+	// Scratch buffers.
+	eb, ef []float64
+
+	Stats Stats
+}
+
+type dirTries struct {
+	fwd, bwd *trie
+}
+
+// New creates a verifier for query q under threshold tau.
+func New(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) *Verifier {
+	return &Verifier{
+		costs:   costs,
+		ds:      ds,
+		q:       q,
+		tau:     tau,
+		opts:    opts,
+		tries:   make(map[int32]*dirTries),
+		results: make(map[traj.MatchKey]float64),
+		swSeen:  make(map[int32]bool),
+	}
+}
+
+// Verify processes one candidate (Algorithm 4).
+func (v *Verifier) Verify(c Candidate) {
+	v.Stats.Candidates++
+	if v.opts.Mode == ModeSW {
+		v.verifySW(c.ID)
+		return
+	}
+	p := v.ds.Path(c.ID)
+	j := int(c.Pos)
+	b := p[j]
+	qSym := v.q[c.IQ]
+	subCost := v.costs.Sub(qSym, b)
+	tauPrime := v.tau - subCost
+	v.Stats.ColumnsAvailable += int64(len(p) - 1)
+	if tauPrime <= 0 {
+		return // even a perfect surrounding alignment cannot reach < τ
+	}
+
+	var tr *dirTries
+	if v.opts.Mode == ModeBT {
+		tr = v.trieFor(c.IQ)
+	} else {
+		tr = v.freshTries(c.IQ) // no sharing across candidates
+	}
+
+	// E^b over the reversed prefix P[j-1], ..., P[0] vs reversed Q[:iq];
+	// E^f over P[j+1], ..., P[|P|-1] vs Q[iq+1:].
+	v.eb = v.allPrefixWED(tr.bwd, p, j, -1, tauPrime, v.eb[:0])
+	v.ef = v.allPrefixWED(tr.fwd, p, j, +1, tauPrime, v.ef[:0])
+
+	minEf := minOf(v.ef)
+	for kb, ebv := range v.eb {
+		if ebv+minEf >= tauPrime {
+			continue
+		}
+		rem := tauPrime - ebv
+		for kf, efv := range v.ef {
+			if efv >= rem {
+				continue
+			}
+			m := traj.MatchKey{ID: c.ID, S: int32(j - kb), T: int32(j + kf)}
+			total := subCost + ebv + efv
+			if old, ok := v.results[m]; !ok || total < old {
+				v.results[m] = total
+			}
+		}
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0] // allPrefixWED always returns at least E_0
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// allPrefixWED walks/extends the trie along P in the given direction from
+// position j (exclusive) and returns the prefix-WED array E^d, E^d[k] =
+// wed(P^d[1..k], Q^d), for k = 0..K where K is the early-termination depth
+// (Algorithm 5). The returned slice aliases dst's storage.
+func (v *Verifier) allPrefixWED(t *trie, p []traj.Symbol, j, dir int, tauPrime float64, dst []float64) []float64 {
+	node := int32(0)                // root
+	dst = append(dst, t.tail(node)) // E_0 = wed(ε, Q^d)
+	for k := 1; ; k++ {
+		i := j + dir*k
+		if i < 0 || i >= len(p) {
+			break
+		}
+		child, computed := t.child(node, p[i], v.costs)
+		if computed {
+			v.Stats.StepDPCalls++
+		}
+		v.Stats.ColumnsVisited++
+		if !v.opts.DisableEarlyTermination && t.min(child) >= tauPrime {
+			break
+		}
+		dst = append(dst, t.tail(child))
+		node = child
+	}
+	return dst
+}
+
+// trieFor returns (building on first use) the bidirectional tries of iq.
+func (v *Verifier) trieFor(iq int32) *dirTries {
+	if tr, ok := v.tries[iq]; ok {
+		return tr
+	}
+	tr := v.freshTries(iq)
+	v.tries[iq] = tr
+	return tr
+}
+
+func (v *Verifier) freshTries(iq int32) *dirTries {
+	qf := v.q[iq+1:]
+	qb := reversed(v.q[:iq])
+	return &dirTries{
+		fwd: newTrie(v.costs, qf),
+		bwd: newTrie(v.costs, qb),
+	}
+}
+
+func reversed(q []traj.Symbol) []traj.Symbol {
+	out := make([]traj.Symbol, len(q))
+	for i, s := range q {
+		out[len(q)-1-i] = s
+	}
+	return out
+}
+
+// verifySW scans the whole trajectory once per distinct ID, enumerating
+// every match with the exhaustive threshold-aware DP.
+func (v *Verifier) verifySW(id int32) {
+	if v.swSeen[id] {
+		return
+	}
+	v.swSeen[id] = true
+	p := v.ds.Path(id)
+	v.Stats.ColumnsAvailable += int64(len(p) - 1)
+	for _, m := range wed.AllMatches(v.costs, v.q, p, v.tau) {
+		key := traj.MatchKey{ID: id, S: int32(m.S), T: int32(m.T)}
+		if old, ok := v.results[key]; !ok || m.WED < old {
+			v.results[key] = m.WED
+		}
+	}
+}
+
+// Results returns the deduplicated matches sorted by (ID, S, T).
+func (v *Verifier) Results() []traj.Match {
+	for _, tr := range v.tries {
+		v.Stats.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
+	}
+	out := make([]traj.Match, 0, len(v.results))
+	for k, d := range v.results {
+		out = append(out, traj.Match{ID: k.ID, S: k.S, T: k.T, WED: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.T < b.T
+	})
+	v.Stats.Matches = len(out)
+	return out
+}

@@ -1,0 +1,43 @@
+package wed
+
+// MemoNetDist wraps a NetDist with a bounded memo table. NetEDR/NetERP
+// verification calls Sub (= one hub-label merge-join) for every DP cell;
+// across candidates the same vertex pairs recur constantly (shared
+// prefixes against the same query symbols), so a small memo removes most
+// joins. The table is cleared wholesale when full — trajectory queries
+// have strong locality, so the occasional cold restart is cheaper than
+// LRU bookkeeping.
+type MemoNetDist struct {
+	inner NetDist
+	memo  map[uint64]float64
+	limit int
+}
+
+// NewMemoNetDist wraps inner with a memo of at most limit entries
+// (limit ≤ 0 selects a default of 1<<20).
+func NewMemoNetDist(inner NetDist, limit int) *MemoNetDist {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &MemoNetDist{inner: inner, memo: make(map[uint64]float64), limit: limit}
+}
+
+// Query implements NetDist.
+func (m *MemoNetDist) Query(a, b int32) float64 {
+	if a > b {
+		a, b = b, a // distances are symmetric on the symmetrised network
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if d, ok := m.memo[key]; ok {
+		return d
+	}
+	d := m.inner.Query(a, b)
+	if len(m.memo) >= m.limit {
+		m.memo = make(map[uint64]float64, m.limit/4)
+	}
+	m.memo[key] = d
+	return d
+}
+
+// Len returns the current memo size (for tests and diagnostics).
+func (m *MemoNetDist) Len() int { return len(m.memo) }

@@ -1,0 +1,79 @@
+package wed_test
+
+import (
+	"testing"
+
+	"subtraj/internal/shortestpath"
+	"subtraj/internal/testutil"
+	"subtraj/internal/wed"
+)
+
+type countingDist struct {
+	inner *shortestpath.HubLabels
+	calls int
+}
+
+func (c *countingDist) Query(a, b int32) float64 {
+	c.calls++
+	return c.inner.Query(a, b)
+}
+
+func TestMemoNetDistTransparent(t *testing.T) {
+	env := testutil.NewEnv(91, 10, 10)
+	cd := &countingDist{inner: env.Hubs}
+	memo := wed.NewMemoNetDist(cd, 0)
+	n := int32(env.G.NumVertices())
+	// Every memoized answer must equal the direct one, symmetric pairs
+	// must share entries, and repeats must not call through.
+	for a := int32(0); a < n; a += 3 {
+		for b := int32(0); b < n; b += 7 {
+			want := env.Hubs.Query(a, b)
+			if got := memo.Query(a, b); got != want {
+				t.Fatalf("memo(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	callsAfterFirstPass := cd.calls
+	for a := int32(0); a < n; a += 3 {
+		for b := int32(0); b < n; b += 7 {
+			memo.Query(b, a) // swapped: must hit the same entries
+		}
+	}
+	if cd.calls != callsAfterFirstPass {
+		t.Fatalf("repeat pass called through %d times", cd.calls-callsAfterFirstPass)
+	}
+}
+
+func TestMemoNetDistEviction(t *testing.T) {
+	env := testutil.NewEnv(92, 10, 10)
+	memo := wed.NewMemoNetDist(env.Hubs, 8)
+	n := int32(env.G.NumVertices())
+	for a := int32(0); a < n && a < 20; a++ {
+		memo.Query(0, a)
+	}
+	if memo.Len() > 8 {
+		t.Fatalf("memo grew past its limit: %d", memo.Len())
+	}
+}
+
+func TestNetModelsWithMemo(t *testing.T) {
+	// NetEDR over a memoized oracle must agree with NetEDR over the raw
+	// oracle on every Sub it is asked for.
+	env := testutil.NewEnv(93, 15, 12)
+	raw := wed.NewNetEDR(env.Und, env.Hubs, env.G.MedianEdgeWeight())
+	memod := wed.NewNetEDR(env.Und, wed.NewMemoNetDist(env.Hubs, 0), env.G.MedianEdgeWeight())
+	var m testutil.Model
+	for _, mm := range env.Models() {
+		if mm.Name == "NetEDR" {
+			m = mm
+		}
+	}
+	syms := env.RandomString(m, 50)
+	for i := 0; i < len(syms); i++ {
+		for j := i; j < len(syms) && j < i+10; j++ {
+			if raw.Sub(syms[i], syms[j]) != memod.Sub(syms[i], syms[j]) {
+				t.Fatalf("memoized Sub differs at (%d,%d)", syms[i], syms[j])
+			}
+		}
+	}
+}

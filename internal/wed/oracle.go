@@ -1,0 +1,35 @@
+package wed
+
+// AllMatches enumerates every subtrajectory match: all 0-based inclusive
+// (s, t) with wed(P[s..t], Q) < tau, together with the exact distance. It
+// is the exhaustive reference implementation of Definition 3 — O(|P|²·|Q|)
+// with early termination — used as the ground-truth oracle in tests and as
+// the verification-free lower line in the ablation benchmarks.
+func AllMatches(c Costs, q, p []Symbol, tau float64) []SWMatch {
+	var out []SWMatch
+	n := len(q)
+	base := make([]float64, n+1)
+	base[0] = 0
+	for i, qs := range q {
+		base[i+1] = base[i] + c.Ins(qs)
+	}
+	row := make([]float64, n+1)
+	next := make([]float64, n+1)
+	for s := 0; s < len(p); s++ {
+		copy(row, base)
+		for t := s; t < len(p); t++ {
+			next = StepDP(c, q, p[t], row, next)
+			row, next = next, row
+			if row[n] < tau {
+				out = append(out, SWMatch{S: s, T: t, WED: row[n]})
+			}
+			// The column minimum is non-decreasing as t grows (all
+			// costs are non-negative), so once it reaches tau no longer
+			// end extends to a match for this start.
+			if Min(row) >= tau {
+				break
+			}
+		}
+	}
+	return out
+}

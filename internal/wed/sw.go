@@ -1,0 +1,85 @@
+package wed
+
+// This file implements the Smith–Waterman adaptation of Appendix A
+// (Algorithm 7): a substring-matching DP whose boundary condition lets a
+// match start at any position of P for free, and whose K matrix memorises
+// the start position of the best alignment ending at each cell (the
+// technique of Sakurai et al. [38]).
+
+// SWMatch is a best-substring result of the Smith–Waterman scan.
+type SWMatch struct {
+	// S and T are 0-based inclusive bounds of the substring P[S..T].
+	// S > T encodes the empty substring (possible when wed(Q, ε) is the
+	// minimum, e.g. tiny queries); callers filtering with a meaningful
+	// τ ≤ Σ ins(Qj) never see it.
+	S, T int
+	// WED is wed(Q, P[S..T]).
+	WED float64
+}
+
+// SmithWaterman returns the substring of P minimising wed(Q, ·), scanning
+// the whole of P in O(|P|·|Q|) time (Algorithm 7). found is false only for
+// empty P.
+func SmithWaterman(c Costs, q, p []Symbol) (SWMatch, bool) {
+	best, _ := smithWaterman(c, q, p, nil)
+	return best, len(p) > 0
+}
+
+// SmithWatermanAll returns, for each end position t, the best-start match
+// ending at t whose WED is below tau. This is the result set of the
+// Plain-SW baseline: one match per end position (the full all-pairs result
+// set requires the bidirectional verification or the exhaustive oracle).
+func SmithWatermanAll(c Costs, q, p []Symbol, tau float64) []SWMatch {
+	_, all := smithWaterman(c, q, p, func(m SWMatch) bool { return m.WED < tau })
+	return all
+}
+
+func smithWaterman(c Costs, q, p []Symbol, keep func(SWMatch) bool) (SWMatch, []SWMatch) {
+	n := len(q)
+	// Column-major over P: D[i] = wed(Q[:i], P[s..j]) for the best s.
+	// K[i] = that best start (0-based; K = j+1 means empty substring).
+	d := make([]float64, n+1)
+	k := make([]int, n+1)
+	nd := make([]float64, n+1)
+	nk := make([]int, n+1)
+	d[0] = 0
+	k[0] = 0
+	for i, qs := range q {
+		d[i+1] = d[i] + c.Del(qs) // deleting Q's prefix: wed(Q[:i+1], ε)
+		k[i+1] = 0
+	}
+	best := SWMatch{S: 0, T: -1, WED: d[n]}
+	var all []SWMatch
+	if keep != nil && keep(best) {
+		all = append(all, best)
+	}
+	for j, ps := range p {
+		// Empty substring starting after j.
+		nd[0] = 0
+		nk[0] = j + 1
+		for i, qs := range q {
+			// a: substitute Q_i with P_j; b: delete Q_i; c: insert P_j.
+			av := d[i] + c.Sub(qs, ps)
+			bv := nd[i] + c.Del(qs)
+			cv := d[i+1] + c.Ins(ps)
+			switch {
+			case av <= bv && av <= cv:
+				nd[i+1], nk[i+1] = av, k[i]
+			case bv <= cv:
+				nd[i+1], nk[i+1] = bv, nk[i]
+			default:
+				nd[i+1], nk[i+1] = cv, k[i+1]
+			}
+		}
+		m := SWMatch{S: nk[n], T: j, WED: nd[n]}
+		if m.WED < best.WED || (m.WED == best.WED && best.T < best.S && m.T >= m.S) {
+			best = m
+		}
+		if keep != nil && m.T >= m.S && keep(m) {
+			all = append(all, m)
+		}
+		d, nd = nd, d
+		k, nk = nk, k
+	}
+	return best, all
+}

@@ -1,0 +1,152 @@
+// Package wed implements the weighted edit distance (WED) class of §2.2:
+// edit distance with user-defined insertion/deletion/substitution costs,
+// the six cost instances evaluated in the paper (Lev, EDR, ERP, NetEDR,
+// NetERP, SURS), the dynamic-programming kernels, and the Smith–Waterman
+// substring scan (Appendix A, Algorithm 7).
+//
+// A cost model must satisfy the paper's assumptions (Proposition 1):
+//
+//	sub(a,b) ≥ 0,  sub(a,b) = sub(b,a),  sub(a,a) = 0,  ins(a) = del(a).
+//
+// Models additionally expose the filtering machinery of §3.1: the
+// substitution neighbourhood B(q) (Definition 4) and the per-symbol
+// filtering cost c(q) (Eq. 7). Both depend on the neighbourhood threshold
+// η, fixed at model construction per Appendix D.
+package wed
+
+// Symbol is a trajectory element (vertex or edge ID), mirroring
+// traj.Symbol without importing it (both alias int32).
+type Symbol = int32
+
+// Costs defines the three WED edit-operation costs.
+type Costs interface {
+	// Name identifies the cost model ("EDR", "NetERP", ...).
+	Name() string
+	// Sub returns sub(a, b), the cost of substituting a with b.
+	Sub(a, b Symbol) float64
+	// Ins returns ins(a) = sub(ε, a).
+	Ins(a Symbol) float64
+	// Del returns del(a) = sub(a, ε). Symmetry forces Del = Ins.
+	Del(a Symbol) float64
+}
+
+// FilterCosts extends Costs with the subsequence-filtering machinery.
+type FilterCosts interface {
+	Costs
+	// Neighbors appends the substitution neighbourhood B(q) = {b ∈ Σ :
+	// sub(q, b) ≤ η} to dst and returns the extended slice. The result
+	// always contains q itself (sub(q,q) = 0 ≤ η).
+	Neighbors(q Symbol, dst []Symbol) []Symbol
+	// FilterCost returns c(q) = min over q' ∈ Σ⁺ \ B(q) of sub(q, q'):
+	// the cheapest way to delete q or substitute it outside its
+	// neighbourhood (Eq. 7).
+	FilterCost(q Symbol) float64
+}
+
+// SumIns returns wed(ε, Q) = Σ ins(Qj), the cost of building Q from the
+// empty string.
+func SumIns(c Costs, q []Symbol) float64 {
+	var s float64
+	for _, x := range q {
+		s += c.Ins(x)
+	}
+	return s
+}
+
+// SumDel returns wed(P, ε) = Σ del(Pi).
+func SumDel(c Costs, p []Symbol) float64 {
+	var s float64
+	for _, x := range p {
+		s += c.Del(x)
+	}
+	return s
+}
+
+// Dist computes wed(P, Q) by dynamic programming in O(|P|·|Q|) time and
+// O(|Q|) space.
+func Dist(c Costs, p, q []Symbol) float64 {
+	// prev[j] = wed(P[:i], Q[:j]) for the previous row i.
+	prev := make([]float64, len(q)+1)
+	cur := make([]float64, len(q)+1)
+	prev[0] = 0
+	for j, qs := range q {
+		prev[j+1] = prev[j] + c.Ins(qs)
+	}
+	for _, ps := range p {
+		cur[0] = prev[0] + c.Del(ps)
+		for j, qs := range q {
+			v := prev[j] + c.Sub(ps, qs) // substitution
+			if d := prev[j+1] + c.Del(ps); d < v {
+				v = d // delete P_i
+			}
+			if d := cur[j] + c.Ins(qs); d < v {
+				v = d // insert Q_j
+			}
+			cur[j+1] = v
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(q)]
+}
+
+// DistMatrix computes the full (|P|+1)×(|Q|+1) DP matrix, used by tests
+// and by the exhaustive oracle.
+func DistMatrix(c Costs, p, q []Symbol) [][]float64 {
+	m := make([][]float64, len(p)+1)
+	for i := range m {
+		m[i] = make([]float64, len(q)+1)
+	}
+	for j, qs := range q {
+		m[0][j+1] = m[0][j] + c.Ins(qs)
+	}
+	for i, ps := range p {
+		m[i+1][0] = m[i][0] + c.Del(ps)
+		for j, qs := range q {
+			v := m[i][j] + c.Sub(ps, qs)
+			if d := m[i][j+1] + c.Del(ps); d < v {
+				v = d
+			}
+			if d := m[i+1][j] + c.Ins(qs); d < v {
+				v = d
+			}
+			m[i+1][j+1] = v
+		}
+	}
+	return m
+}
+
+// StepDP advances one DP column (Algorithm 6): given the column A for some
+// prefix P' of the data string against query Qd, it returns the column for
+// P'·p. dst is reused when it has capacity. A has length |Qd|+1; A[j] =
+// wed(P', Qd[:j]).
+func StepDP(c Costs, qd []Symbol, p Symbol, a, dst []float64) []float64 {
+	if cap(dst) < len(qd)+1 {
+		dst = make([]float64, len(qd)+1)
+	} else {
+		dst = dst[:len(qd)+1]
+	}
+	dst[0] = a[0] + c.Del(p)
+	for j, qs := range qd {
+		v := a[j] + c.Sub(p, qs)
+		if d := a[j+1] + c.Del(p); d < v {
+			v = d
+		}
+		if d := dst[j] + c.Ins(qs); d < v {
+			v = d
+		}
+		dst[j+1] = v
+	}
+	return dst
+}
+
+// Min returns the minimum of a DP column — the early-termination lower
+// bound LB of Eq. 11.
+func Min(col []float64) float64 {
+	m := col[0]
+	for _, v := range col[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

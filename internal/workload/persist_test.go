@@ -1,0 +1,76 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"subtraj/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := workload.Generate(workload.Tiny(55))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumVertices() != orig.Graph.NumVertices() {
+		t.Fatalf("vertices %d != %d", got.Graph.NumVertices(), orig.Graph.NumVertices())
+	}
+	if got.Graph.NumEdges() != orig.Graph.NumEdges() {
+		t.Fatalf("edges %d != %d", got.Graph.NumEdges(), orig.Graph.NumEdges())
+	}
+	for v := int32(0); v < int32(orig.Graph.NumVertices()); v++ {
+		if got.Graph.Coord(v) != orig.Graph.Coord(v) {
+			t.Fatalf("coord %d differs", v)
+		}
+	}
+	for i, e := range orig.Graph.Edges() {
+		ge := got.Graph.Edge(int32(i))
+		if ge.From != e.From || ge.To != e.To || ge.Weight != e.Weight {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	if got.Data.Len() != orig.Data.Len() {
+		t.Fatalf("trajectories %d != %d", got.Data.Len(), orig.Data.Len())
+	}
+	for id := range orig.Data.Trajs {
+		a, b := orig.Data.Trajs[id], got.Data.Trajs[id]
+		if len(a.Path) != len(b.Path) || len(a.Times) != len(b.Times) {
+			t.Fatalf("trajectory %d shape differs", id)
+		}
+		for i := range a.Path {
+			if a.Path[i] != b.Path[i] || a.Times[i] != b.Times[i] {
+				t.Fatalf("trajectory %d content differs at %d", id, i)
+			}
+		}
+	}
+	if got.Config.Name != orig.Config.Name {
+		t.Fatal("config lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := workload.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsCorruptEdges(t *testing.T) {
+	// Craft a stream with an out-of-range edge by saving and patching is
+	// brittle; instead encode a minimal bad container through the public
+	// API: a graph with 1 vertex cannot have edges, so hand-build via
+	// Save of a valid workload then Load of a truncated prefix.
+	orig := workload.Generate(workload.Tiny(56))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := workload.Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

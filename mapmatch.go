@@ -1,0 +1,40 @@
+package subtraj
+
+import (
+	"subtraj/internal/mapmatch"
+)
+
+// MapMatcher converts raw GPS traces into network-constrained vertex paths
+// via HMM map matching (Newson–Krumm style, the paper's preprocessing step
+// [34]). Build once per road network; Match per trace.
+type MapMatcher struct {
+	inner *mapmatch.Matcher
+}
+
+// MapMatchConfig tunes the HMM. Zero values select defaults suited to
+// ~20 m GPS noise on ~100 m road segments.
+type MapMatchConfig struct {
+	// Sigma is the GPS noise standard deviation (metres).
+	Sigma float64
+	// Beta is the transition model's tolerance (metres) for the gap
+	// between straight-line displacement and route distance.
+	Beta float64
+	// MaxCandidates bounds candidate vertices per GPS sample.
+	MaxCandidates int
+}
+
+// NewMapMatcher builds a matcher over the road network.
+func NewMapMatcher(g *Graph, cfg MapMatchConfig) *MapMatcher {
+	return &MapMatcher{inner: mapmatch.New(g, mapmatch.Config{
+		Sigma:         cfg.Sigma,
+		Beta:          cfg.Beta,
+		MaxCandidates: cfg.MaxCandidates,
+	})}
+}
+
+// Match maps a GPS trace (ordered coordinates) onto the network, returning
+// a connected vertex path ready to insert into a Dataset or use as a
+// query. It fails when no connected candidate path explains the trace.
+func (m *MapMatcher) Match(trace []Point) ([]Symbol, error) {
+	return m.inner.Match(trace)
+}

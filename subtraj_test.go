@@ -1,0 +1,354 @@
+package subtraj_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"subtraj"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(101))
+	net := subtraj.NewNetwork(w.Graph)
+	rng := rand.New(rand.NewSource(101))
+
+	eng, err := subtraj.NewEngine(w.Data, net.EDR(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := subtraj.SampleQuery(w.Data, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := eng.SearchRatio(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query is a verbatim subtrajectory of some data trajectory, so
+	// at least one exact (wed = 0) match must exist.
+	foundZero := false
+	for _, m := range ms {
+		if m.WED == 0 {
+			foundZero = true
+		}
+		if m.WED >= eng.Threshold(q, 0.2) {
+			t.Fatalf("match at %v ≥ τ", m.WED)
+		}
+	}
+	if !foundZero {
+		t.Fatal("the sampled query's own occurrence was not found")
+	}
+}
+
+func TestPublicAPIAllModels(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(102))
+	net := subtraj.NewNetwork(w.Graph)
+	rng := rand.New(rand.NewSource(102))
+
+	edgeData, err := w.Data.ToEdgeRep(w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medW := w.Graph.MedianEdgeWeight()
+	models := []struct {
+		name  string
+		costs subtraj.FilterCosts
+		data  *subtraj.Dataset
+	}{
+		{"Lev", net.Lev(), w.Data},
+		{"EDR", net.EDR(60), w.Data},
+		{"ERP", net.ERP(net.DefaultERPEta()), w.Data},
+		{"NetEDR", net.NetEDR(medW), w.Data},
+		{"NetERP", net.NetERP(2000, medW), w.Data},
+		{"SURS", net.SURS(), edgeData},
+	}
+	for _, m := range models {
+		eng, err := subtraj.NewEngine(m.data, m.costs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		q, err := subtraj.SampleQuery(m.data, 8, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		ms, err := eng.SearchRatio(q, 0.15)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if len(ms) == 0 {
+			t.Fatalf("%s: sampled query found no matches (its own occurrence must match)", m.name)
+		}
+	}
+}
+
+func TestSearchStatsExposed(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(103))
+	net := subtraj.NewNetwork(w.Graph)
+	rng := rand.New(rand.NewSource(103))
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	q, _ := subtraj.SampleQuery(w.Data, 8, rng)
+	tau := eng.Threshold(q, 0.25)
+	_, stats, err := eng.SearchStats(q, tau, subtraj.VerifyOptions{Mode: subtraj.VerifyBT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates <= 0 || stats.SubseqLen <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	if stats.CSum < tau {
+		t.Fatalf("c(Q') = %v < τ = %v", stats.CSum, tau)
+	}
+}
+
+func TestSearchTemporalWindow(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(104))
+	net := subtraj.NewNetwork(w.Graph)
+	rng := rand.New(rand.NewSource(104))
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	q, _ := subtraj.SampleQuery(w.Data, 8, rng)
+	tau := eng.Threshold(q, 0.25)
+	all, err := eng.Search(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full horizon window keeps everything under overlap semantics.
+	full, _, err := eng.SearchTemporal(q, tau, subtraj.TemporalWindow{Lo: 0, Hi: math.MaxFloat64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(all) {
+		t.Fatalf("full window dropped matches: %d vs %d", len(full), len(all))
+	}
+	// TF and no-TF must agree.
+	win := subtraj.TemporalWindow{Lo: 0, Hi: 1800}
+	a, _, err := eng.SearchTemporal(q, tau, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.NoPrefilter = true
+	b, _, err := eng.SearchTemporal(q, tau, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("TF/no-TF disagree: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestBestPerTrajectory(t *testing.T) {
+	ms := []subtraj.Match{
+		{ID: 1, S: 0, T: 5, WED: 2},
+		{ID: 1, S: 2, T: 4, WED: 1},
+		{ID: 1, S: 3, T: 4, WED: 1},
+		{ID: 2, S: 0, T: 1, WED: 0},
+	}
+	best := subtraj.BestPerTrajectory(ms)
+	if len(best) != 2 {
+		t.Fatalf("best size %d", len(best))
+	}
+	// ID 1: wed 1 wins; among ties the shorter [3,4].
+	if b := best[1]; b.WED != 1 || b.S != 3 || b.T != 4 {
+		t.Fatalf("best for 1: %+v", b)
+	}
+	if b := best[2]; b.WED != 0 {
+		t.Fatalf("best for 2: %+v", b)
+	}
+}
+
+func TestEngineAppendPublic(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(105))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	n := eng.Dataset().Len()
+	// Append a copy of trajectory 0 and search for its prefix.
+	t0 := *eng.Dataset().Get(0)
+	id := eng.Append(t0)
+	if int(id) != n {
+		t.Fatalf("appended ID %d, want %d", id, n)
+	}
+	qlen := 5
+	if len(t0.Path) < qlen {
+		qlen = len(t0.Path)
+	}
+	q := t0.Path[:qlen]
+	ms, err := eng.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNew := false
+	for _, m := range ms {
+		if m.ID == id && m.WED == 0 {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatal("appended trajectory not searchable")
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	if _, err := subtraj.NewEngine(nil, nil); err == nil {
+		t.Fatal("nil engine args accepted")
+	}
+}
+
+func TestRTreeBackedEngineEqualsKDTree(t *testing.T) {
+	// The spatial index is a black box (§4.2): swapping kd-tree for
+	// R-tree must not change any result.
+	w := subtraj.Generate(subtraj.TinyWorkload(108))
+	kdNet := subtraj.NewNetwork(w.Graph)
+	rtNet := subtraj.NewNetwork(w.Graph)
+	rtNet.UseRTree = true
+	rng := rand.New(rand.NewSource(108))
+	for _, mk := range []func(n *subtraj.Network) subtraj.FilterCosts{
+		func(n *subtraj.Network) subtraj.FilterCosts { return n.EDR(60) },
+		func(n *subtraj.Network) subtraj.FilterCosts { return n.ERP(5) },
+	} {
+		kdEng, _ := subtraj.NewEngine(w.Data, mk(kdNet))
+		rtEng, _ := subtraj.NewEngine(w.Data, mk(rtNet))
+		for i := 0; i < 3; i++ {
+			q, err := subtraj.SampleQuery(w.Data, 8, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := kdEng.SearchRatio(q, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := rtEng.SearchRatio(q, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("kd %d matches, rtree %d", len(a), len(b))
+			}
+			for j := range a {
+				if a[j].Key() != b[j].Key() {
+					t.Fatalf("match %d differs: %+v vs %+v", j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchExactPublic(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(109))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	rng := rand.New(rand.NewSource(109))
+	q, _ := subtraj.SampleQuery(w.Data, 8, rng)
+	ms, err := eng.SearchExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("sampled query has no exact occurrence")
+	}
+	for _, m := range ms {
+		p := w.Data.Get(m.ID).Path[m.S : m.T+1]
+		for i := range q {
+			if p[i] != q[i] {
+				t.Fatalf("non-exact match %+v", m)
+			}
+		}
+	}
+	n, err := eng.CountExact(q)
+	if err != nil || n != len(ms) {
+		t.Fatalf("CountExact %d != %d", n, len(ms))
+	}
+}
+
+func TestPathIndexAgreesWithSearchExact(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(110))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	pi := subtraj.NewPathIndex(w.Data)
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 20; trial++ {
+		q, err := subtraj.SampleQuery(w.Data, 2+rng.Intn(8), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := eng.SearchExact(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := pi.Lookup(q)
+		if len(a) != len(b) {
+			t.Fatalf("engine %d occurrences, suffix array %d", len(a), len(b))
+		}
+		akeys := map[subtraj.Match]bool{}
+		for _, m := range a {
+			akeys[m] = true
+		}
+		for _, m := range b {
+			if !akeys[m] {
+				t.Fatalf("suffix array found %+v, engine did not", m)
+			}
+		}
+		if pi.Count(q) != len(a) {
+			t.Fatal("count mismatch")
+		}
+	}
+}
+
+func TestSearchTopKPublic(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(106))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, _ := subtraj.NewEngine(w.Data, net.EDR(60))
+	rng := rand.New(rand.NewSource(106))
+	q, _ := subtraj.SampleQuery(w.Data, 8, rng)
+	top, err := eng.SearchTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 {
+		t.Fatal("no top-k results for a sampled query")
+	}
+	if top[0].WED != 0 {
+		t.Fatalf("best match wed = %v, want 0 (query sampled from data)", top[0].WED)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].WED < top[i-1].WED {
+			t.Fatal("top-k not sorted by WED")
+		}
+	}
+	seen := map[int32]bool{}
+	for _, m := range top {
+		if seen[m.ID] {
+			t.Fatal("duplicate trajectory in top-k")
+		}
+		seen[m.ID] = true
+	}
+}
+
+func TestSearchTemporalDeparture(t *testing.T) {
+	w := subtraj.Generate(subtraj.TinyWorkload(107))
+	net := subtraj.NewNetwork(w.Graph)
+	eng, _ := subtraj.NewEngine(w.Data, net.Lev())
+	rng := rand.New(rand.NewSource(107))
+	q, _ := subtraj.SampleQuery(w.Data, 8, rng)
+	tau := eng.Threshold(q, 0.3)
+	win := subtraj.TemporalWindow{Lo: 0, Hi: 1800, Departure: true}
+	got, _, err := eng.SearchTemporal(q, tau, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every match's trajectory must depart inside the window, and the
+	// no-prefilter run must agree.
+	for _, m := range got {
+		dep, ok := w.Data.Get(m.ID).Departure()
+		if !ok || dep < win.Lo || dep > win.Hi {
+			t.Fatalf("match %+v departs at %v outside window", m, dep)
+		}
+	}
+	win.NoPrefilter = true
+	want, _, err := eng.SearchTemporal(q, tau, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("prefilter changed results: %d vs %d", len(got), len(want))
+	}
+}
