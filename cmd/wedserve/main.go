@@ -1,0 +1,184 @@
+// Command wedserve serves subtrajectory similarity queries over HTTP: it
+// generates (or loads) a workload, builds an engine for a chosen cost
+// model, wraps it for concurrency, and listens until SIGINT/SIGTERM, then
+// shuts down gracefully.
+//
+// Usage:
+//
+//	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
+//	         [-load workload.gob] [-cache 1024] [-concurrency 0]
+//
+// Endpoints (all JSON; see internal/server for the full shapes):
+//
+//	POST /v1/search    {"q":[...], "tau":12.5}   or {"q":[...], "tau_ratio":0.1}
+//	POST /v1/topk      {"q":[...], "k":5}
+//	POST /v1/temporal  {"q":[...], "tau_ratio":0.1, "lo":0, "hi":3600, "mode":"overlap"}
+//	POST /v1/exact     {"q":[...]}
+//	POST /v1/count     {"q":[...]}
+//	POST /v1/append    {"path":[...], "times":[...]}
+//	POST /v1/batch     {"queries":[{"kind":"search", ...}, ...]}
+//	GET  /v1/stats
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"subtraj"
+	"subtraj/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wedserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "beijing", "workload: beijing|porto|singapore|sanfran|tiny")
+		load        = flag.String("load", "", "load a workload gob written by datagen instead of generating")
+		scale       = flag.Float64("scale", 0.1, "dataset scale factor")
+		model       = flag.String("model", "EDR", "cost model: Lev|EDR|ERP|NetEDR|NetERP|SURS")
+		cacheSize   = flag.Int("cache", 1024, "LRU result-cache entries (negative disables)")
+		concurrency = flag.Int("concurrency", 0, "max in-flight engine queries (0 = 2x GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 64, "max subqueries per /v1/batch request")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	var w *subtraj.Workload
+	start := time.Now()
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err = subtraj.LoadWorkload(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s", *load)
+	} else {
+		cfg, err := configByName(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.NumTrajectories = int(float64(cfg.NumTrajectories) * *scale)
+		if cfg.NumTrajectories < 10 {
+			cfg.NumTrajectories = 10
+		}
+		log.Printf("generating %s workload (%d trajectories)...", cfg.Name, cfg.NumTrajectories)
+		w = subtraj.Generate(cfg)
+	}
+	log.Printf("  graph: %d vertices, %d edges; data: %d trajectories, avg length %.1f (%s)",
+		w.Graph.NumVertices(), w.Graph.NumEdges(), w.Data.Len(), w.Data.AvgLen(), time.Since(start).Round(time.Millisecond))
+
+	net := subtraj.NewNetwork(w.Graph)
+	costs, data, err := buildModel(net, w, *model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start = time.Now()
+	eng, err := subtraj.NewEngine(data, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("  engine (%s) built in %s", *model, time.Since(start).Round(time.Millisecond))
+
+	// The alphabet bound keeps out-of-range symbols in request JSON from
+	// reaching the cost models, which index per-symbol tables directly.
+	maxSymbol := int32(w.Graph.NumVertices())
+	if data.Rep == subtraj.EdgeRep {
+		maxSymbol = int32(w.Graph.NumEdges())
+	}
+
+	safe := subtraj.NewSafeEngine(eng)
+	srv := server.New(safe.Inner(), server.Config{
+		CacheSize:     *cacheSize,
+		MaxConcurrent: *concurrency,
+		MaxBatch:      *maxBatch,
+		MaxSymbol:     maxSymbol,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (model=%s, cache=%d, concurrency=%d)",
+			*addr, *model, *cacheSize, *concurrency)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (draining up to %s)...", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	snap := srv.Snapshot()
+	log.Printf("served %d searches, %d batches, %d appends; cache hits %d/%d; exiting",
+		snap.Requests.Search, snap.Requests.Batch, snap.Requests.Append,
+		snap.Cache.Hits, snap.Cache.Hits+snap.Cache.Misses)
+}
+
+func configByName(name string) (subtraj.WorkloadConfig, error) {
+	switch name {
+	case "beijing":
+		return subtraj.BeijingLike(), nil
+	case "porto":
+		return subtraj.PortoLike(), nil
+	case "singapore":
+		return subtraj.SingaporeLike(), nil
+	case "sanfran":
+		return subtraj.SanFranLike(), nil
+	case "tiny":
+		return subtraj.TinyWorkload(42), nil
+	default:
+		return subtraj.WorkloadConfig{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func buildModel(net *subtraj.Network, w *subtraj.Workload, model string) (subtraj.FilterCosts, *subtraj.Dataset, error) {
+	switch model {
+	case "Lev":
+		return net.Lev(), w.Data, nil
+	case "EDR":
+		return net.EDR(100), w.Data, nil
+	case "ERP":
+		return net.ERP(net.DefaultERPEta()), w.Data, nil
+	case "NetEDR":
+		return net.NetEDR(w.Graph.MedianEdgeWeight()), w.Data, nil
+	case "NetERP":
+		return net.NetERP(2e6, w.Graph.MedianEdgeWeight()), w.Data, nil
+	case "SURS":
+		ed, err := w.Data.ToEdgeRep(w.Graph)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net.SURS(), ed, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -25,7 +25,10 @@
 //	q, _ := subtraj.SampleQuery(w.Data, 60, rng)
 //	matches, _ := eng.SearchRatio(q, 0.1)            // τ = 0.1·Σc(q)
 //
+// Engines are single-threaded; wrap one in NewSafeEngine to share it
+// across goroutines, or serve it over HTTP with cmd/wedserve.
+//
 // See examples/ for complete programs (travel-time estimation,
-// alternative-route suggestion, temporal search) and DESIGN.md for the
-// paper-to-module map.
+// alternative-route suggestion, temporal search, an HTTP client) and
+// DESIGN.md for the paper-to-module map.
 package subtraj

@@ -1,0 +1,3 @@
+module subtraj
+
+go 1.24

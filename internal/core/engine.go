@@ -22,8 +22,20 @@ import (
 
 // Engine is an immutable-once-built search engine over one dataset and one
 // cost model. Building is O(total symbols); queries never mutate shared
-// state, so an Engine is safe for concurrent readers (the single-threaded
-// evaluation never relies on this).
+// engine state, so an Engine is safe for concurrent readers — with two
+// caveats callers that want concurrency must handle (the server package's
+// SafeEngine does):
+//
+//   - Append mutates the dataset and the inverted index and must be
+//     serialized against every concurrent query.
+//   - A TemporalDeparture query with the pre-filter enabled lazily builds
+//     the departure-sorted postings on first use (a hidden write under a
+//     read path). Call PrepareTemporal before going concurrent, or
+//     serialize such queries until TemporalReady reports true.
+//
+// Cost models are a third mutation surface: MemoNetDist (used by NetEDR /
+// NetERP) caches distances internally and synchronizes itself, but
+// user-supplied FilterCosts must be safe for concurrent use if queries are.
 type Engine struct {
 	ds    *traj.Dataset
 	inv   *index.Inverted
@@ -73,6 +85,17 @@ func (e *Engine) ensureTemporalIndex() {
 		e.temporalBuilt = true
 	}
 }
+
+// PrepareTemporal eagerly builds the departure-sorted postings index that
+// TemporalDeparture pre-filters binary-search (§4.3). Concurrent callers
+// use it to hoist the otherwise-lazy build out of the read path: call it
+// (serialized with writers) whenever TemporalReady is false.
+func (e *Engine) PrepareTemporal() { e.ensureTemporalIndex() }
+
+// TemporalReady reports whether the departure-sorted postings are current
+// (built and not invalidated by a later Append). While it is true,
+// TemporalDeparture queries are read-only like every other query.
+func (e *Engine) TemporalReady() bool { return e.temporalBuilt }
 
 // QueryStats instruments one query with the Table 4 breakdown and the
 // filtering/verification metrics of §6.4.
@@ -127,6 +150,12 @@ type Query struct {
 // ErrEmptyQuery is returned for zero-length queries.
 var ErrEmptyQuery = errors.New("core: empty query")
 
+// ErrTauTooLarge is wrapped by SearchQuery when τ > wed(ε, Q): beyond that
+// threshold the empty subtrajectory "matches" and the problem is ill-posed
+// (§2.3). Like filter.ErrInfeasible it marks a caller error — the query
+// parameters, not the engine, are at fault — so servers map it to a 4xx.
+var ErrTauTooLarge = errors.New("core: τ exceeds wed(ε, Q)")
+
 // Search answers the subtrajectory similarity search of Definition 3 with
 // default options.
 func (e *Engine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) {
@@ -142,7 +171,7 @@ func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
 	if wed.SumIns(e.costs, qr.Q) < qr.Tau {
 		// Guard of §2.3: otherwise the empty subtrajectory "matches"
 		// and the problem is ill-posed.
-		return nil, nil, fmt.Errorf("core: τ = %g exceeds wed(ε, Q) = %g; query would match empty subtrajectories", qr.Tau, wed.SumIns(e.costs, qr.Q))
+		return nil, nil, fmt.Errorf("%w: τ = %g, wed(ε, Q) = %g; query would match empty subtrajectories", ErrTauTooLarge, qr.Tau, wed.SumIns(e.costs, qr.Q))
 	}
 	stats := &QueryStats{}
 

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"subtraj/internal/traj"
+)
+
+// resultCache is a generation-tagged LRU over query results. Keys encode
+// the full query (kind, symbols, τ, mode parameters); values carry the
+// engine generation they were computed at. A lookup whose stored
+// generation differs from the engine's current one is treated as a miss
+// and evicted — Append invalidates by bumping the generation, with no
+// need to synchronously sweep the cache.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type cacheEntry struct {
+	key     string
+	gen     uint64
+	matches []traj.Match
+	count   int // for count-kind entries with no match payload
+}
+
+// newResultCache creates an LRU holding at most capacity entries
+// (capacity ≤ 0 disables caching: every lookup misses, every store is
+// dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// get returns the entry under key if present and computed at generation
+// gen; otherwise it records a miss (and an invalidation if a stale entry
+// had to be dropped).
+func (c *resultCache) get(key string, gen uint64) (*cacheEntry, bool) {
+	if !c.enabled() {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return ent, true
+}
+
+// put stores an entry, evicting from the LRU tail past capacity.
+func (c *resultCache) put(ent *cacheEntry) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[ent.key]; ok {
+		el.Value = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[ent.key] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.m, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey encodes one query deterministically. kind disambiguates
+// endpoints ("search", "topk", ...); params carries the scalar knobs in a
+// fixed order; q is the symbol string.
+func cacheKey(kind string, q []traj.Symbol, params ...float64) string {
+	var b strings.Builder
+	b.Grow(len(kind) + 16*len(params) + 8*len(q))
+	b.WriteString(kind)
+	for _, p := range params {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	b.WriteByte(':')
+	for i, s := range q {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(s), 10))
+	}
+	return b.String()
+}

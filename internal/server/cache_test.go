@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+
+	"subtraj/internal/traj"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	a := &cacheEntry{key: "a", gen: 1}
+	b := &cacheEntry{key: "b", gen: 1}
+	d := &cacheEntry{key: "d", gen: 1}
+	c.put(a)
+	c.put(b)
+	if _, ok := c.get("a", 1); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put(d) // evicts b
+	if _, ok := c.get("b", 1); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a", 1); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.get("d", 1); !ok {
+		t.Error("d should be present")
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := newResultCache(8)
+	c.put(&cacheEntry{key: "k", gen: 1, count: 5})
+	if ent, ok := c.get("k", 1); !ok || ent.count != 5 {
+		t.Fatalf("expected hit at gen 1")
+	}
+	if _, ok := c.get("k", 2); ok {
+		t.Fatal("entry from gen 1 must not serve gen 2")
+	}
+	if got := c.invalidations.Load(); got != 1 {
+		t.Errorf("invalidations = %d, want 1", got)
+	}
+	if c.len() != 0 {
+		t.Errorf("stale entry should have been dropped, len = %d", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.put(&cacheEntry{key: "k", gen: 1})
+	if _, ok := c.get("k", 1); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache must store nothing")
+	}
+}
+
+func TestCacheKeyDisambiguates(t *testing.T) {
+	q1 := []traj.Symbol{1, 2, 3}
+	q2 := []traj.Symbol{1, 23}
+	keys := map[string]bool{}
+	for _, k := range []string{
+		cacheKey("search", q1, 1.5),
+		cacheKey("search", q2, 1.5),
+		cacheKey("search", q1, 2.5),
+		cacheKey("exact", q1),
+		cacheKey("topk", q1, 3),
+		cacheKey("temporal", q1, 1.5, 0, 100, 1, 0),
+		cacheKey("temporal", q1, 1.5, 0, 100, 2, 0),
+	} {
+		if keys[k] {
+			t.Errorf("duplicate cache key %q", k)
+		}
+		keys[k] = true
+	}
+	if cacheKey("search", q1, 1.5) != cacheKey("search", []traj.Symbol{1, 2, 3}, 1.5) {
+		t.Error("identical queries must produce identical keys")
+	}
+}

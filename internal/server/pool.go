@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrPoolSaturated is returned when a request gives up waiting for a pool
+// slot (its context expired while queued).
+var ErrPoolSaturated = errors.New("server: worker pool saturated")
+
+// workerPool bounds the number of in-flight engine queries. Verification
+// is the memory-heavy phase (DP columns, trie nodes per query), so
+// admitting an unbounded number of concurrent searches can exhaust memory
+// long before the CPU saturates; the pool converts overload into queueing
+// (and, past the caller's deadline, into ErrPoolSaturated) instead.
+type workerPool struct {
+	sem chan struct{}
+
+	inFlight atomic.Int64
+	waited   atomic.Int64 // acquisitions that had to block
+	rejected atomic.Int64
+}
+
+// newWorkerPool creates a pool admitting at most size concurrent tasks.
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	return &workerPool{sem: make(chan struct{}, size)}
+}
+
+func (p *workerPool) capacity() int { return cap(p.sem) }
+
+// acquire blocks until a slot frees up or ctx is done.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		p.waited.Add(1)
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			p.rejected.Add(1)
+			return ErrPoolSaturated
+		}
+	}
+	p.inFlight.Add(1)
+	return nil
+}
+
+// release frees the slot taken by a successful acquire.
+func (p *workerPool) release() {
+	p.inFlight.Add(-1)
+	<-p.sem
+}
+
+// do runs fn inside a pool slot.
+func (p *workerPool) do(ctx context.Context, fn func()) error {
+	if err := p.acquire(ctx); err != nil {
+		return err
+	}
+	defer p.release()
+	fn()
+	return nil
+}

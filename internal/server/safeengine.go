@@ -1,0 +1,123 @@
+// Package server turns the in-process search engine into a long-running,
+// concurrent query-serving subsystem: a thread-safe engine wrapper
+// (SafeEngine), a bounded worker pool capping in-flight verifications, a
+// generation-tagged LRU result cache, and an HTTP JSON API with running
+// statistics. It is the seam later scaling work (sharding, replication,
+// persistence) plugs into: everything above SafeEngine sees a safe,
+// observable query service rather than a single-threaded library.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"subtraj/internal/core"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// SafeEngine wraps a core.Engine for concurrent use. Queries take a read
+// lock and run in parallel; Append takes the write lock and is serialized
+// against everything. The wrapper also hoists the engine's one hidden
+// write under a read path — the lazily built departure-sorted temporal
+// index — out from under concurrent readers (see core.Engine's doc
+// comment for the full list of mutation points).
+//
+// Every Append bumps a generation counter; result caches key their
+// entries on it so stale answers die with the generation instead of
+// needing an explicit invalidation channel.
+type SafeEngine struct {
+	mu  sync.RWMutex
+	eng *core.Engine
+	gen atomic.Uint64
+}
+
+// NewSafeEngine wraps eng. The wrapper must be the only user of eng from
+// then on: bypassing it reintroduces the data race it exists to prevent.
+func NewSafeEngine(eng *core.Engine) *SafeEngine {
+	return &SafeEngine{eng: eng}
+}
+
+// Unsafe returns the wrapped engine for single-threaded phases (bulk
+// loading before serving starts). Callers must not use it concurrently
+// with the wrapper's own methods.
+func (s *SafeEngine) Unsafe() *core.Engine { return s.eng }
+
+// Generation returns the number of Appends applied so far. Two calls
+// returning the same value bracket a window in which the dataset did not
+// change, which is what makes it usable as a cache-validity tag.
+func (s *SafeEngine) Generation() uint64 { return s.gen.Load() }
+
+// Append indexes one more trajectory under the write lock and returns its
+// ID.
+func (s *SafeEngine) Append(t traj.Trajectory) int32 {
+	s.mu.Lock()
+	id := s.eng.Append(t)
+	s.gen.Add(1)
+	s.mu.Unlock()
+	return id
+}
+
+// NumTrajectories returns the current dataset size.
+func (s *SafeEngine) NumTrajectories() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.Dataset().Len()
+}
+
+// Costs returns the engine's cost model (immutable after construction).
+func (s *SafeEngine) Costs() wed.FilterCosts { return s.eng.Costs() }
+
+// Threshold converts a τ_ratio into an absolute τ for query q.
+func (s *SafeEngine) Threshold(q []traj.Symbol, ratio float64) float64 {
+	return ratio * core.SumFilterCost(s.eng.Costs(), q)
+}
+
+// Search answers a similarity search under the read lock.
+func (s *SafeEngine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) {
+	res, _, err := s.SearchQuery(core.Query{Q: q, Tau: tau})
+	return res, err
+}
+
+// SearchQuery answers a fully specified query under the read lock,
+// upgrading to the write lock first when the query needs the not-yet-built
+// temporal index.
+func (s *SafeEngine) SearchQuery(qr core.Query) ([]traj.Match, *core.QueryStats, error) {
+	needsTemporal := qr.Temporal.Mode == core.TemporalDeparture && !qr.Temporal.DisablePrefilter
+	for {
+		s.mu.RLock()
+		if !needsTemporal || s.eng.TemporalReady() {
+			res, stats, err := s.eng.SearchQuery(qr)
+			s.mu.RUnlock()
+			return res, stats, err
+		}
+		// The departure-sorted postings are stale or missing; build them
+		// under the write lock and retry. An Append sneaking in between
+		// the unlock and the retry just sends us around the loop again.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		s.eng.PrepareTemporal()
+		s.mu.Unlock()
+	}
+}
+
+// SearchTopK answers the top-k protocol under the read lock.
+func (s *SafeEngine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.SearchTopK(q, k)
+}
+
+// SearchExact answers the exact path query under the read lock.
+func (s *SafeEngine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.SearchExact(q)
+}
+
+// CountExact returns the exact occurrence count under the read lock.
+func (s *SafeEngine) CountExact(q []traj.Symbol) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.CountExact(q)
+}

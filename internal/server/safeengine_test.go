@@ -1,0 +1,128 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"subtraj/internal/core"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+	"subtraj/internal/workload"
+)
+
+// newTestEngine builds a small engine over the tiny synthetic workload
+// with Levenshtein costs (alphabet-agnostic, so appends of arbitrary
+// vertex paths are always valid).
+func newTestEngine(t testing.TB) (*SafeEngine, *workload.Workload) {
+	t.Helper()
+	w := workload.Generate(workload.Tiny(7))
+	eng := core.NewEngine(w.Data, wed.NewLev())
+	return NewSafeEngine(eng), w
+}
+
+func sampleQuery(t testing.TB, ds *traj.Dataset, qlen int, seed int64) []traj.Symbol {
+	t.Helper()
+	q, err := workload.SampleQuery(ds, qlen, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("SampleQuery: %v", err)
+	}
+	return q
+}
+
+// TestSafeEngineConcurrentAppendSearch hammers the wrapper with
+// concurrent appends and every query kind. Run under -race this is the
+// acceptance test for the synchronization design: the unwrapped engine
+// fails it immediately.
+func TestSafeEngineConcurrentAppendSearch(t *testing.T) {
+	safe, w := newTestEngine(t)
+	q := sampleQuery(t, w.Data, 8, 1)
+	tau := safe.Threshold(q, 0.3)
+
+	const (
+		searchers = 8
+		appenders = 3
+		rounds    = 40
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 5 {
+				case 0:
+					if _, err := safe.Search(q, tau); err != nil {
+						t.Errorf("Search: %v", err)
+					}
+				case 1:
+					if _, err := safe.SearchTopK(q, 3); err != nil {
+						t.Errorf("SearchTopK: %v", err)
+					}
+				case 2:
+					qr := core.Query{Q: q, Tau: tau}
+					qr.Temporal.Mode = core.TemporalDeparture
+					qr.Temporal.Lo, qr.Temporal.Hi = 0, 1e9
+					if _, _, err := safe.SearchQuery(qr); err != nil {
+						t.Errorf("SearchQuery(departure): %v", err)
+					}
+				case 3:
+					if _, err := safe.SearchExact(q); err != nil {
+						t.Errorf("SearchExact: %v", err)
+					}
+				case 4:
+					if _, err := safe.CountExact(q); err != nil {
+						t.Errorf("CountExact: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(99))
+	paths := make([][]traj.Symbol, appenders*rounds)
+	for i := range paths {
+		paths[i] = append([]traj.Symbol(nil), w.Data.Path(int32(rng.Intn(w.Data.Len())))...)
+	}
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				safe.Append(traj.Trajectory{Path: paths[g*rounds+i]})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := safe.Generation(), uint64(appenders*rounds); got != want {
+		t.Errorf("Generation = %d, want %d", got, want)
+	}
+	if got, want := safe.NumTrajectories(), 60+appenders*rounds; got != want {
+		t.Errorf("NumTrajectories = %d, want %d", got, want)
+	}
+}
+
+// TestSafeEngineAppendVisible checks an appended trajectory is findable
+// and bumps the generation.
+func TestSafeEngineAppendVisible(t *testing.T) {
+	safe, w := newTestEngine(t)
+	path := append([]traj.Symbol(nil), w.Data.Path(0)...)
+	gen := safe.Generation()
+	id := safe.Append(traj.Trajectory{Path: path})
+	if safe.Generation() != gen+1 {
+		t.Fatalf("Generation did not advance")
+	}
+	ms, err := safe.SearchExact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("appended trajectory %d not in exact matches %v", id, ms)
+	}
+}

@@ -1,0 +1,652 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subtraj/internal/core"
+	"subtraj/internal/filter"
+	"subtraj/internal/traj"
+)
+
+// Config parameterises a Server. The zero value selects production-ready
+// defaults.
+type Config struct {
+	// CacheSize is the LRU result-cache capacity in entries (0 = default
+	// 1024; negative disables caching).
+	CacheSize int
+	// MaxConcurrent bounds in-flight engine queries — the worker-pool
+	// size (0 = default 2×GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueryLen rejects queries longer than this many symbols (0 =
+	// default 4096).
+	MaxQueryLen int
+	// MaxBatch rejects batch requests with more subqueries than this
+	// (0 = default 64).
+	MaxBatch int
+	// MaxK rejects top-k requests with k beyond this (0 = default 1000).
+	MaxK int
+	// MaxBodyBytes caps request body size (0 = default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSymbol rejects query/append symbols outside [0, MaxSymbol).
+	// Cost models index per-symbol tables directly, so an out-of-alphabet
+	// symbol from untrusted JSON would panic the engine; set this to the
+	// alphabet size (vertex or edge count). 0 disables the upper-bound
+	// check — negative symbols are always rejected.
+	MaxSymbol int32
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the HTTP query-serving front end over one SafeEngine:
+//
+//	POST /v1/search    similarity search (tau or tau_ratio)
+//	POST /v1/topk      top-k most similar trajectories
+//	POST /v1/temporal  temporally constrained search
+//	POST /v1/exact     exact subtrajectory matches
+//	POST /v1/count     exact-occurrence count (path popularity)
+//	POST /v1/append    index one more trajectory
+//	POST /v1/batch     several of the above in one request
+//	GET  /v1/stats     running counters (queries, cache, pool, engine)
+//	GET  /healthz      liveness probe
+//
+// All request and response bodies are JSON. Client errors (malformed
+// JSON, validation failures, infeasible τ) map to 400; pool saturation
+// past the request deadline maps to 503; everything else to 500.
+type Server struct {
+	eng   *SafeEngine
+	cache *resultCache
+	pool  *workerPool
+	cfg   Config
+	mux   *http.ServeMux
+	stats counters
+}
+
+// counters aggregates per-endpoint request counts and the engine's
+// QueryStats instrumentation as running totals for /v1/stats.
+type counters struct {
+	start time.Time
+
+	search, topk, temporal, exact, count, appendN, batch atomic.Int64
+	errors                                               atomic.Int64
+	executed                                             atomic.Int64 // engine-run (non-cached) queries
+
+	candidates, matches                   atomic.Int64
+	minCandNS, lookupNS, verifyNS         atomic.Int64
+	columnsVisited, columnsAvail, stepDPs atomic.Int64
+}
+
+// New builds a Server over eng.
+func New(eng *SafeEngine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:   eng,
+		cache: newResultCache(cfg.CacheSize),
+		pool:  newWorkerPool(cfg.MaxConcurrent),
+		cfg:   cfg,
+	}
+	s.stats.start = time.Now()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/search", s.handleQuery("search", &s.stats.search))
+	s.mux.HandleFunc("POST /v1/topk", s.handleQuery("topk", &s.stats.topk))
+	s.mux.HandleFunc("POST /v1/temporal", s.handleQuery("temporal", &s.stats.temporal))
+	s.mux.HandleFunc("POST /v1/exact", s.handleQuery("exact", &s.stats.exact))
+	s.mux.HandleFunc("POST /v1/count", s.handleQuery("count", &s.stats.count))
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine returns the wrapped safe engine.
+func (s *Server) Engine() *SafeEngine { return s.eng }
+
+// --- request / response shapes ------------------------------------------
+
+// queryRequest is the body of every read endpoint; Kind selects the
+// operation inside /v1/batch (the dedicated endpoints fix it).
+type queryRequest struct {
+	Kind     string        `json:"kind,omitempty"`
+	Q        []traj.Symbol `json:"q"`
+	Tau      float64       `json:"tau,omitempty"`
+	TauRatio float64       `json:"tau_ratio,omitempty"`
+	K        int           `json:"k,omitempty"`
+	// Temporal window (kind "temporal").
+	Lo          float64 `json:"lo,omitempty"`
+	Hi          float64 `json:"hi,omitempty"`
+	Mode        string  `json:"mode,omitempty"` // overlap (default) | contain | departure
+	NoPrefilter bool    `json:"no_prefilter,omitempty"`
+}
+
+type matchJSON struct {
+	ID  int32   `json:"id"`
+	S   int32   `json:"s"`
+	T   int32   `json:"t"`
+	WED float64 `json:"wed"`
+}
+
+type queryStatsJSON struct {
+	SubseqLen  int   `json:"subseq_len"`
+	Candidates int   `json:"candidates"`
+	MinCandNS  int64 `json:"mincand_ns"`
+	LookupNS   int64 `json:"lookup_ns"`
+	VerifyNS   int64 `json:"verify_ns"`
+}
+
+type queryResponse struct {
+	Matches []matchJSON     `json:"matches,omitempty"`
+	Count   int             `json:"count"`
+	Tau     float64         `json:"tau,omitempty"` // resolved absolute τ
+	Cached  bool            `json:"cached"`
+	Stats   *queryStatsJSON `json:"stats,omitempty"`
+}
+
+// httpError carries the status a handler should answer with.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleQuery(kind string, counter *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		var req queryRequest
+		if err := s.decode(w, r, &req); err != nil {
+			s.fail(w, err)
+			return
+		}
+		req.Kind = kind
+		resp, err := s.execute(r.Context(), &req)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+type appendRequest struct {
+	Path  []traj.Symbol `json:"path"`
+	Times []float64     `json:"times,omitempty"`
+}
+
+type appendResponse struct {
+	ID         int32  `json:"id"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.stats.appendN.Add(1)
+	var req appendRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.validateAppend(&req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	id := s.eng.Append(traj.Trajectory{Path: req.Path, Times: req.Times})
+	writeJSON(w, http.StatusOK, appendResponse{ID: id, Generation: s.eng.Generation()})
+}
+
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+type batchItemResponse struct {
+	*queryResponse
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItemResponse `json:"results"`
+}
+
+// handleBatch fans the subqueries out through the worker pool and returns
+// per-item results in request order; one bad subquery fails alone, not
+// the whole batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.batch.Add(1)
+	var req batchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, badRequest("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.fail(w, badRequest("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	results := make([]batchItemResponse, len(req.Queries))
+	var wg sync.WaitGroup
+	for i := range req.Queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// net/http's panic recovery only covers the handler's own
+			// goroutine; without this, one panicking subquery would kill
+			// the whole process instead of one batch item.
+			defer func() {
+				if p := recover(); p != nil {
+					s.stats.errors.Add(1)
+					results[i].Error = fmt.Sprintf("internal error: %v", p)
+				}
+			}()
+			resp, err := s.execute(r.Context(), &req.Queries[i])
+			if err != nil {
+				s.stats.errors.Add(1)
+				results[i].Error = err.Error()
+				return
+			}
+			results[i].queryResponse = resp
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// --- query execution -----------------------------------------------------
+
+// execute validates req, consults the cache, and otherwise runs the query
+// inside a worker-pool slot.
+func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse, error) {
+	if err := s.validateQuery(req); err != nil {
+		return nil, err
+	}
+
+	// Resolve tau_ratio to an absolute τ first: the cache key and the
+	// engine both want the absolute form.
+	tau := req.Tau
+	if req.TauRatio > 0 {
+		tau = s.eng.Threshold(req.Q, req.TauRatio)
+	}
+
+	mode, err := temporalMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+
+	var key string
+	switch req.Kind {
+	case "search":
+		key = cacheKey("search", req.Q, tau)
+	case "topk":
+		key = cacheKey("topk", req.Q, float64(req.K))
+	case "temporal":
+		key = cacheKey("temporal", req.Q, tau, req.Lo, req.Hi, float64(mode), boolFloat(req.NoPrefilter))
+	case "exact":
+		key = cacheKey("exact", req.Q)
+	case "count":
+		key = cacheKey("count", req.Q)
+	}
+
+	gen := s.eng.Generation()
+	if ent, ok := s.cache.get(key, gen); ok {
+		resp := &queryResponse{Count: ent.count, Tau: tau, Cached: true}
+		if req.Kind != "count" {
+			resp.Matches = toMatchJSON(ent.matches)
+		}
+		return resp, nil
+	}
+
+	var (
+		matches []traj.Match
+		n       int
+		qstats  *core.QueryStats
+		qerr    error
+	)
+	perr := s.pool.do(ctx, func() {
+		switch req.Kind {
+		case "search":
+			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau})
+		case "topk":
+			matches, qerr = s.eng.SearchTopK(req.Q, req.K)
+		case "temporal":
+			qr := core.Query{Q: req.Q, Tau: tau}
+			qr.Temporal.Mode = mode
+			qr.Temporal.Lo, qr.Temporal.Hi = req.Lo, req.Hi
+			qr.Temporal.DisablePrefilter = req.NoPrefilter
+			matches, qstats, qerr = s.eng.SearchQuery(qr)
+		case "exact":
+			matches, qerr = s.eng.SearchExact(req.Q)
+		case "count":
+			n, qerr = s.eng.CountExact(req.Q)
+		}
+	})
+	if perr != nil {
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: perr.Error()}
+	}
+	if qerr != nil {
+		return nil, mapEngineError(qerr)
+	}
+	s.stats.executed.Add(1)
+	if req.Kind != "count" {
+		n = len(matches)
+	}
+	s.stats.matches.Add(int64(n))
+	s.recordQueryStats(qstats)
+
+	// Tag the entry with the generation read *before* the query ran: if an
+	// Append raced with us the entry is already stale and dies on lookup.
+	s.cache.put(&cacheEntry{key: key, gen: gen, matches: matches, count: n})
+
+	resp := &queryResponse{Count: n, Tau: tau}
+	if req.Kind != "count" {
+		resp.Matches = toMatchJSON(matches)
+	}
+	if qstats != nil {
+		resp.Stats = &queryStatsJSON{
+			SubseqLen:  qstats.SubseqLen,
+			Candidates: qstats.Candidates,
+			MinCandNS:  qstats.MinCandTime.Nanoseconds(),
+			LookupNS:   qstats.LookupTime.Nanoseconds(),
+			VerifyNS:   qstats.VerifyTime.Nanoseconds(),
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) recordQueryStats(qs *core.QueryStats) {
+	if qs == nil {
+		return
+	}
+	s.stats.candidates.Add(int64(qs.Candidates))
+	s.stats.minCandNS.Add(qs.MinCandTime.Nanoseconds())
+	s.stats.lookupNS.Add(qs.LookupTime.Nanoseconds())
+	s.stats.verifyNS.Add(qs.VerifyTime.Nanoseconds())
+	s.stats.columnsVisited.Add(qs.Verify.ColumnsVisited)
+	s.stats.columnsAvail.Add(qs.Verify.ColumnsAvailable)
+	s.stats.stepDPs.Add(qs.Verify.StepDPCalls)
+}
+
+// --- validation and error mapping ---------------------------------------
+
+func (s *Server) validateQuery(req *queryRequest) error {
+	switch req.Kind {
+	case "search", "topk", "temporal", "exact", "count":
+	default:
+		return badRequest("unknown query kind %q", req.Kind)
+	}
+	if len(req.Q) == 0 {
+		return badRequest("empty query q")
+	}
+	if len(req.Q) > s.cfg.MaxQueryLen {
+		return badRequest("query of %d symbols exceeds limit %d", len(req.Q), s.cfg.MaxQueryLen)
+	}
+	if err := s.validateSymbols(req.Q); err != nil {
+		return err
+	}
+	switch req.Kind {
+	case "search", "temporal":
+		if req.Tau <= 0 && req.TauRatio <= 0 {
+			return badRequest("one of tau or tau_ratio must be positive")
+		}
+		if req.Tau > 0 && req.TauRatio > 0 {
+			return badRequest("tau and tau_ratio are mutually exclusive")
+		}
+		if req.TauRatio > 1 {
+			return badRequest("tau_ratio %g out of range (0, 1]", req.TauRatio)
+		}
+	case "topk":
+		if req.K <= 0 {
+			return badRequest("k must be positive")
+		}
+		if req.K > s.cfg.MaxK {
+			return badRequest("k = %d exceeds limit %d", req.K, s.cfg.MaxK)
+		}
+	}
+	if req.Kind == "temporal" && req.Hi < req.Lo {
+		return badRequest("temporal window [%g, %g] is empty", req.Lo, req.Hi)
+	}
+	return nil
+}
+
+func (s *Server) validateAppend(req *appendRequest) error {
+	if len(req.Path) == 0 {
+		return badRequest("empty trajectory path")
+	}
+	if len(req.Path) > s.cfg.MaxQueryLen {
+		return badRequest("path of %d symbols exceeds limit %d", len(req.Path), s.cfg.MaxQueryLen)
+	}
+	if err := s.validateSymbols(req.Path); err != nil {
+		return err
+	}
+	if len(req.Times) > 0 {
+		// Vertex representation carries one timestamp per vertex; edge
+		// representation one per vertex of the underlying path, i.e.
+		// len(path)+1 (see traj.Trajectory.Times).
+		want := len(req.Path)
+		if s.eng.Unsafe().Dataset().Rep == traj.EdgeRep {
+			want++
+		}
+		if len(req.Times) != want {
+			return badRequest("got %d timestamps, want %d (or none)", len(req.Times), want)
+		}
+		for i := 1; i < len(req.Times); i++ {
+			if req.Times[i] < req.Times[i-1] {
+				return badRequest("timestamps must be non-decreasing (times[%d] < times[%d])", i, i-1)
+			}
+		}
+	}
+	return nil
+}
+
+// validateSymbols rejects symbols the cost model could not index.
+func (s *Server) validateSymbols(q []traj.Symbol) error {
+	for i, sym := range q {
+		if sym < 0 {
+			return badRequest("symbol %d at position %d is negative", sym, i)
+		}
+		if s.cfg.MaxSymbol > 0 && sym >= s.cfg.MaxSymbol {
+			return badRequest("symbol %d at position %d outside alphabet [0, %d)", sym, i, s.cfg.MaxSymbol)
+		}
+	}
+	return nil
+}
+
+func temporalMode(s string) (core.TemporalMode, error) {
+	switch s {
+	case "", "overlap":
+		return core.TemporalOverlap, nil
+	case "contain":
+		return core.TemporalContain, nil
+	case "departure":
+		return core.TemporalDeparture, nil
+	default:
+		return 0, badRequest("unknown temporal mode %q", s)
+	}
+}
+
+// mapEngineError classifies engine failures: ill-posed query parameters
+// are the client's fault, anything else is ours.
+func mapEngineError(err error) error {
+	var infeasible filter.ErrInfeasible
+	if errors.Is(err, core.ErrEmptyQuery) || errors.Is(err, core.ErrTauTooLarge) || errors.As(err, &infeasible) {
+		return &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	return &httpError{code: http.StatusInternalServerError, msg: err.Error()}
+}
+
+// --- stats ---------------------------------------------------------------
+
+// StatsSnapshot is the /v1/stats response.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Engine        struct {
+		Trajectories int    `json:"trajectories"`
+		Generation   uint64 `json:"generation"`
+	} `json:"engine"`
+	Requests struct {
+		Search   int64 `json:"search"`
+		TopK     int64 `json:"topk"`
+		Temporal int64 `json:"temporal"`
+		Exact    int64 `json:"exact"`
+		Count    int64 `json:"count"`
+		Append   int64 `json:"append"`
+		Batch    int64 `json:"batch"`
+		Errors   int64 `json:"errors"`
+	} `json:"requests"`
+	Cache struct {
+		Size          int   `json:"size"`
+		Capacity      int   `json:"capacity"`
+		Hits          int64 `json:"hits"`
+		Misses        int64 `json:"misses"`
+		Evictions     int64 `json:"evictions"`
+		Invalidations int64 `json:"invalidations"`
+	} `json:"cache"`
+	Pool struct {
+		Capacity int   `json:"capacity"`
+		InFlight int64 `json:"in_flight"`
+		Waited   int64 `json:"waited"`
+		Rejected int64 `json:"rejected"`
+	} `json:"pool"`
+	Totals struct {
+		Executed         int64   `json:"executed"`
+		Candidates       int64   `json:"candidates"`
+		Matches          int64   `json:"matches"`
+		MinCandNS        int64   `json:"mincand_ns"`
+		LookupNS         int64   `json:"lookup_ns"`
+		VerifyNS         int64   `json:"verify_ns"`
+		ColumnsVisited   int64   `json:"columns_visited"`
+		ColumnsAvailable int64   `json:"columns_available"`
+		StepDPCalls      int64   `json:"step_dp_calls"`
+		UPR              float64 `json:"upr"`
+		CMR              float64 `json:"cmr"`
+	} `json:"totals"`
+}
+
+// Snapshot assembles the current running counters.
+func (s *Server) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	out.UptimeSeconds = time.Since(s.stats.start).Seconds()
+	out.Engine.Trajectories = s.eng.NumTrajectories()
+	out.Engine.Generation = s.eng.Generation()
+	out.Requests.Search = s.stats.search.Load()
+	out.Requests.TopK = s.stats.topk.Load()
+	out.Requests.Temporal = s.stats.temporal.Load()
+	out.Requests.Exact = s.stats.exact.Load()
+	out.Requests.Count = s.stats.count.Load()
+	out.Requests.Append = s.stats.appendN.Load()
+	out.Requests.Batch = s.stats.batch.Load()
+	out.Requests.Errors = s.stats.errors.Load()
+	out.Cache.Size = s.cache.len()
+	out.Cache.Capacity = s.cfg.CacheSize
+	out.Cache.Hits = s.cache.hits.Load()
+	out.Cache.Misses = s.cache.misses.Load()
+	out.Cache.Evictions = s.cache.evictions.Load()
+	out.Cache.Invalidations = s.cache.invalidations.Load()
+	out.Pool.Capacity = s.pool.capacity()
+	out.Pool.InFlight = s.pool.inFlight.Load()
+	out.Pool.Waited = s.pool.waited.Load()
+	out.Pool.Rejected = s.pool.rejected.Load()
+	out.Totals.Executed = s.stats.executed.Load()
+	out.Totals.Candidates = s.stats.candidates.Load()
+	out.Totals.Matches = s.stats.matches.Load()
+	out.Totals.MinCandNS = s.stats.minCandNS.Load()
+	out.Totals.LookupNS = s.stats.lookupNS.Load()
+	out.Totals.VerifyNS = s.stats.verifyNS.Load()
+	out.Totals.ColumnsVisited = s.stats.columnsVisited.Load()
+	out.Totals.ColumnsAvailable = s.stats.columnsAvail.Load()
+	out.Totals.StepDPCalls = s.stats.stepDPs.Load()
+	if out.Totals.ColumnsAvailable > 0 {
+		out.Totals.UPR = float64(out.Totals.ColumnsVisited) / float64(out.Totals.ColumnsAvailable)
+	}
+	if out.Totals.ColumnsVisited > 0 {
+		out.Totals.CMR = float64(out.Totals.StepDPCalls) / float64(out.Totals.ColumnsVisited)
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// --- plumbing ------------------------------------------------------------
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.stats.errors.Add(1)
+	code := http.StatusInternalServerError
+	var herr *httpError
+	if errors.As(err, &herr) {
+		code = herr.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func toMatchJSON(ms []traj.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{ID: m.ID, S: m.S, T: m.T, WED: m.WED}
+	}
+	return out
+}
+
+func boolFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,5 +1,7 @@
 package wed
 
+import "sync"
+
 // MemoNetDist wraps a NetDist with a bounded memo table. NetEDR/NetERP
 // verification calls Sub (= one hub-label merge-join) for every DP cell;
 // across candidates the same vertex pairs recur constantly (shared
@@ -7,7 +9,13 @@ package wed
 // joins. The table is cleared wholesale when full — trajectory queries
 // have strong locality, so the occasional cold restart is cheaper than
 // LRU bookkeeping.
+//
+// MemoNetDist is safe for concurrent use: it is the one piece of shared
+// mutable state on the Net* query path, so it synchronizes itself rather
+// than pushing a lock out to every caller. Concurrent misses on the same
+// pair may both compute the (deterministic) distance; last write wins.
 type MemoNetDist struct {
+	mu    sync.RWMutex
 	inner NetDist
 	memo  map[uint64]float64
 	limit int
@@ -28,16 +36,25 @@ func (m *MemoNetDist) Query(a, b int32) float64 {
 		a, b = b, a // distances are symmetric on the symmetrised network
 	}
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
-	if d, ok := m.memo[key]; ok {
+	m.mu.RLock()
+	d, ok := m.memo[key]
+	m.mu.RUnlock()
+	if ok {
 		return d
 	}
-	d := m.inner.Query(a, b)
+	d = m.inner.Query(a, b)
+	m.mu.Lock()
 	if len(m.memo) >= m.limit {
 		m.memo = make(map[uint64]float64, m.limit/4)
 	}
 	m.memo[key] = d
+	m.mu.Unlock()
 	return d
 }
 
 // Len returns the current memo size (for tests and diagnostics).
-func (m *MemoNetDist) Len() int { return len(m.memo) }
+func (m *MemoNetDist) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.memo)
+}
