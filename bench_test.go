@@ -12,6 +12,7 @@
 package subtraj_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -296,6 +297,33 @@ func BenchmarkSearchPerQuery(b *testing.B) {
 				q := queries[i%len(queries)]
 				tau := c.Tau(model, q, 0.1)
 				if _, err := eng.Search(q, tau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSearch measures the sharded intra-query pipeline on
+// the largest synthetic workload (SanFran-like): one engine per shard
+// count, each query run with Parallelism equal to its shard count, so
+// shards=1 is the sequential baseline the speedup targets are measured
+// against. cmd/benchall -json runs the same sweep and snapshots it into
+// BENCH_<rev>.json; the speedup only materialises with ≥shards CPUs.
+func BenchmarkParallelSearch(b *testing.B) {
+	c := experiments.GetCtx(workload.SanFranLike(), 0.1)
+	costs := c.Model("EDR")
+	queries := c.Queries("EDR", 60, 8, 5)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := core.NewEngineShards(c.Data("EDR"), costs, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				tau := c.Tau("EDR", q, 0.1)
+				if _, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: shards}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	benchall [-scale 0.3] [-queries 5] [-qlen 60] [-only fig6,tab4] [-quick]
+//	benchall -json [-scale 0.3] [-qlen 60]
 //
 // -scale multiplies every dataset's trajectory count (1.0 ≈ tens of
 // thousands of trajectories; the default keeps a full run in minutes).
+// -json skips the table suite and instead snapshots the sharded
+// parallel-search sweep into BENCH_<rev>.json (see perfsnap.go), the
+// machine-readable perf trajectory of the query engine.
 package main
 
 import (
@@ -29,8 +33,17 @@ func main() {
 		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		quick   = flag.Bool("quick", false, "tiny quick run (overrides scale/queries/qlen)")
 		seed    = flag.Int64("seed", 1, "query sampling seed")
+		jsonOut = flag.Bool("json", false, "run the parallel-search sweep and write a BENCH_<rev>.json perf snapshot instead of the table suite")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		if err := writePerfSnapshot(*scale, *qlen, 0.1); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Options{Scale: *scale, Queries: *queries, QueryLen: *qlen, Seed: *seed}
 	if *quick {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"subtraj/internal/core"
+	"subtraj/internal/experiments"
+	"subtraj/internal/workload"
+)
+
+// Perf snapshot mode (-json): instead of the paper-table suite, run the
+// parallel-search sweep (the BenchmarkParallelSearch shape from
+// bench_test.go) and write a machine-readable BENCH_<rev>.json, so the
+// repository accumulates a perf trajectory commit over commit. Snapshots
+// record the hardware (NumCPU/GOMAXPROCS) because shard speedups are
+// hardware-bound: on a single-CPU machine every shard count collapses to
+// ~1× by construction.
+
+type perfSnapshot struct {
+	Rev        string      `json:"rev"`
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workload   perfWork    `json:"workload"`
+	Benchmarks []perfBench `json:"benchmarks"`
+}
+
+type perfWork struct {
+	Name         string  `json:"name"`
+	Trajectories int     `json:"trajectories"`
+	Model        string  `json:"model"`
+	QueryLen     int     `json:"query_len"`
+	TauRatio     float64 `json:"tau_ratio"`
+}
+
+type perfBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpeedupVsSequential is ns/op(shards=1) ÷ ns/op(this run).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+// perfShardCounts is the sweep of BenchmarkParallelSearch.
+var perfShardCounts = []int{1, 2, 4, 8}
+
+// writePerfSnapshot runs the sweep on the largest synthetic workload and
+// writes BENCH_<rev>.json in the current directory.
+func writePerfSnapshot(scale float64, qlen int, tauRatio float64) error {
+	const model = "EDR"
+	c := experiments.GetCtx(workload.SanFranLike(), scale)
+	costs := c.Model(model)
+	queries := c.Queries(model, qlen, 8, 5)
+
+	snap := perfSnapshot{
+		Rev:        gitRev(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload: perfWork{
+			Name:         c.Cfg.Name,
+			Trajectories: c.W.Data.Len(),
+			Model:        model,
+			QueryLen:     qlen,
+			TauRatio:     tauRatio,
+		},
+	}
+
+	var seqNs int64
+	for _, shards := range perfShardCounts {
+		fmt.Fprintf(os.Stderr, "[benchall] ParallelSearch/shards=%d...\n", shards)
+		eng := core.NewEngineShards(c.Data(model), costs, shards)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				tau := c.Tau(model, q, tauRatio)
+				if _, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: shards}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := r.NsPerOp()
+		if shards == 1 {
+			seqNs = ns
+		}
+		speedup := 0.0
+		if ns > 0 && seqNs > 0 {
+			speedup = float64(seqNs) / float64(ns)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, perfBench{
+			Name:                fmt.Sprintf("ParallelSearch/shards=%d", shards),
+			NsPerOp:             ns,
+			AllocsPerOp:         r.AllocsPerOp(),
+			BytesPerOp:          r.AllocedBytesPerOp(),
+			SpeedupVsSequential: speedup,
+		})
+	}
+
+	path := "BENCH_" + snap.Rev + ".json"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// gitRev returns the short HEAD revision, or "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "dev"
+	}
+	return rev
+}

@@ -7,6 +7,7 @@
 //
 //	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
 //	         [-load workload.gob] [-cache 1024] [-concurrency 0]
+//	         [-shards 0] [-max-parallelism 0]
 //
 // Endpoints (all JSON; see internal/server for the full shapes):
 //
@@ -48,6 +49,8 @@ func main() {
 		model       = flag.String("model", "EDR", "cost model: Lev|EDR|ERP|NetEDR|NetERP|SURS")
 		cacheSize   = flag.Int("cache", 1024, "LRU result-cache entries (negative disables)")
 		concurrency = flag.Int("concurrency", 0, "max in-flight engine queries (0 = 2x GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "index trajectory shards = per-query parallelism ceiling (0 = one per CPU)")
+		maxPar      = flag.Int("max-parallelism", 0, "cap shard workers per query (0 = min(shards, GOMAXPROCS); 1 = sequential)")
 		maxBatch    = flag.Int("max-batch", 64, "max subqueries per /v1/batch request")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
@@ -88,11 +91,11 @@ func main() {
 	}
 
 	start = time.Now()
-	eng, err := subtraj.NewEngine(data, costs)
+	eng, err := subtraj.NewEngineShards(data, costs, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("  engine (%s) built in %s", *model, time.Since(start).Round(time.Millisecond))
+	log.Printf("  engine (%s, %d shards) built in %s", *model, eng.NumShards(), time.Since(start).Round(time.Millisecond))
 
 	// The alphabet bound keeps out-of-range symbols in request JSON from
 	// reaching the cost models, which index per-symbol tables directly.
@@ -103,10 +106,11 @@ func main() {
 
 	safe := subtraj.NewSafeEngine(eng)
 	srv := server.New(safe.Inner(), server.Config{
-		CacheSize:     *cacheSize,
-		MaxConcurrent: *concurrency,
-		MaxBatch:      *maxBatch,
-		MaxSymbol:     maxSymbol,
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *concurrency,
+		MaxBatch:       *maxBatch,
+		MaxSymbol:      maxSymbol,
+		MaxParallelism: *maxPar,
 	})
 
 	httpSrv := &http.Server{

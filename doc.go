@@ -25,8 +25,12 @@
 //	q, _ := subtraj.SampleQuery(w.Data, 60, rng)
 //	matches, _ := eng.SearchRatio(q, 0.1)            // τ = 0.1·Σc(q)
 //
-// Engines are single-threaded; wrap one in NewSafeEngine to share it
-// across goroutines, or serve it over HTTP with cmd/wedserve.
+// Engines expose no synchronization; wrap one in NewSafeEngine to share
+// it across goroutines, or serve it over HTTP with cmd/wedserve. A
+// single query may itself fan out over index shards (one worker per CPU
+// by default; see NewEngineShards and SearchParallel), so custom cost
+// models must be safe for concurrent reads — every built-in model is.
+// Pass parallelism 1 to keep a query strictly on the calling goroutine.
 //
 // See examples/ for complete programs (travel-time estimation,
 // alternative-route suggestion, temporal search, an HTTP client) and

@@ -20,11 +20,22 @@ type Engine struct {
 // EDR, ERP, NetEDR, NetERP; edge models: Lev, SURS) — the engine cannot
 // check this, so mixing them silently searches the wrong alphabet.
 func NewEngine(ds *Dataset, costs FilterCosts) (*Engine, error) {
+	return NewEngineShards(ds, costs, 0)
+}
+
+// NewEngineShards is NewEngine with an explicit trajectory-shard count
+// for the inverted index (0 = one shard per CPU). The shard count is the
+// ceiling on a single query's parallelism (see SearchParallel); results
+// are identical at every setting.
+func NewEngineShards(ds *Dataset, costs FilterCosts, shards int) (*Engine, error) {
 	if ds == nil || costs == nil {
 		return nil, errors.New("subtraj: nil dataset or cost model")
 	}
-	return &Engine{inner: core.NewEngine(ds, costs)}, nil
+	return &Engine{inner: core.NewEngineShards(ds, costs, shards)}, nil
 }
+
+// NumShards returns the index partition count.
+func (e *Engine) NumShards() int { return e.inner.NumShards() }
 
 // Inner exposes the internal engine for the experiment harness.
 func (e *Engine) Inner() *core.Engine { return e.inner }
@@ -59,6 +70,15 @@ func (e *Engine) Threshold(q []Symbol, ratio float64) float64 {
 // instrumentation (candidate counts, time breakdown, UPR/CMR).
 func (e *Engine) SearchStats(q []Symbol, tau float64, vopts VerifyOptions) ([]Match, *QueryStats, error) {
 	return e.inner.SearchQuery(core.Query{Q: q, Tau: tau, Verify: vopts})
+}
+
+// SearchParallel is Search with an explicit shard-worker cap: 0 = auto
+// (one worker per CPU, bounded by NumShards), 1 = sequential, N > 1 = up
+// to N workers verifying index shards concurrently. Every setting
+// returns the identical (ID, S, T)-sorted match set.
+func (e *Engine) SearchParallel(q []Symbol, tau float64, parallelism int) ([]Match, error) {
+	res, _, err := e.inner.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: parallelism})
+	return res, err
 }
 
 // TemporalWindow is a query time interval I = [Lo, Hi] in dataset seconds.

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"testing"
+
+	"subtraj/internal/core"
+	"subtraj/internal/testutil"
+)
+
+// searchAllocBudget is the allocation-regression guard for the pooled
+// query path (allocs per sequential Search, steady state). The pooled
+// pipeline measures ~30 allocs/op on Lev (plan construction and the
+// returned result slice dominate; verifier scratch is pooled); the budget
+// leaves headroom for benign churn while still catching a per-candidate
+// or per-column allocation regression, which shows up in the thousands.
+const searchAllocBudget = 120
+
+func TestPooledSearchAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts change under -race")
+	}
+	env := testutil.NewEnv(41, 60, 24)
+	m := env.Models()[0] // Lev: no spatial/network substrate allocations
+	eng := core.NewEngineShards(m.DS, m.Costs, 1)
+	q := env.Query(m, 8)
+	tau := oracleTaus(m.Costs, m.DS, q)[1]
+	search := func() {
+		if _, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pools (verifier, tries, candidate buffers) before counting.
+	for i := 0; i < 5; i++ {
+		search()
+	}
+	if avg := testing.AllocsPerRun(50, search); avg > searchAllocBudget {
+		t.Fatalf("sequential pooled search allocates %.1f allocs/op, budget %d", avg, searchAllocBudget)
+	}
+}

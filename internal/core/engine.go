@@ -35,10 +35,12 @@ import (
 //
 // Cost models are a third mutation surface: MemoNetDist (used by NetEDR /
 // NetERP) caches distances internally and synchronizes itself, but
-// user-supplied FilterCosts must be safe for concurrent use if queries are.
+// user-supplied cost models must be safe for concurrent use — note that a
+// single query with Parallelism > 1 already calls the verification costs
+// (Sub/Ins/Del) from several goroutines.
 type Engine struct {
 	ds    *traj.Dataset
-	inv   *index.Inverted
+	sidx  *index.Sharded
 	costs wed.FilterCosts
 
 	// BuildTime records index construction time (Table 6).
@@ -47,24 +49,36 @@ type Engine struct {
 	temporalBuilt bool
 }
 
-// NewEngine indexes the dataset.
+// NewEngine indexes the dataset into index.DefaultShards() partitions.
 func NewEngine(ds *traj.Dataset, costs wed.FilterCosts) *Engine {
-	start := time.Now()
-	inv := index.Build(ds)
-	return &Engine{ds: ds, inv: inv, costs: costs, BuildTime: time.Since(start)}
+	return NewEngineShards(ds, costs, 0)
 }
 
-// NewEngineWithIndex wraps a prebuilt index (used by dataset-size sweeps
-// that share one index build).
+// NewEngineShards indexes the dataset into the given number of trajectory
+// shards (0 = index.DefaultShards()). The shard count bounds how many
+// workers one query's Parallelism can use; results are identical at every
+// shard count.
+func NewEngineShards(ds *traj.Dataset, costs wed.FilterCosts, shards int) *Engine {
+	start := time.Now()
+	sidx := index.BuildSharded(ds, shards)
+	return &Engine{ds: ds, sidx: sidx, costs: costs, BuildTime: time.Since(start)}
+}
+
+// NewEngineWithIndex wraps a prebuilt flat index as a single-shard engine
+// (used by dataset-size sweeps that share one index build).
 func NewEngineWithIndex(ds *traj.Dataset, inv *index.Inverted, costs wed.FilterCosts) *Engine {
-	return &Engine{ds: ds, inv: inv, costs: costs}
+	return &Engine{ds: ds, sidx: index.ShardedFromInverted(inv), costs: costs}
 }
 
 // Dataset returns the indexed dataset.
 func (e *Engine) Dataset() *traj.Dataset { return e.ds }
 
-// Index returns the inverted index.
-func (e *Engine) Index() *index.Inverted { return e.inv }
+// Index returns the sharded inverted index.
+func (e *Engine) Index() *index.Sharded { return e.sidx }
+
+// NumShards returns the index partition count — the ceiling on one
+// query's effective parallelism.
+func (e *Engine) NumShards() int { return e.sidx.NumShards() }
 
 // Costs returns the cost model.
 func (e *Engine) Costs() wed.FilterCosts { return e.costs }
@@ -72,7 +86,7 @@ func (e *Engine) Costs() wed.FilterCosts { return e.costs }
 // Append indexes one more trajectory (incremental update, §4.1).
 func (e *Engine) Append(t traj.Trajectory) int32 {
 	id := e.ds.Add(t)
-	e.inv.Append(id, e.ds.Get(id))
+	e.sidx.Append(id, e.ds.Get(id))
 	e.temporalBuilt = false // departure-sorted postings are stale
 	return id
 }
@@ -81,7 +95,7 @@ func (e *Engine) Append(t traj.Trajectory) int32 {
 // (and after appends invalidate them).
 func (e *Engine) ensureTemporalIndex() {
 	if !e.temporalBuilt {
-		e.inv.BuildTemporal()
+		e.sidx.BuildTemporal()
 		e.temporalBuilt = true
 	}
 }
@@ -98,7 +112,11 @@ func (e *Engine) PrepareTemporal() { e.ensureTemporalIndex() }
 func (e *Engine) TemporalReady() bool { return e.temporalBuilt }
 
 // QueryStats instruments one query with the Table 4 breakdown and the
-// filtering/verification metrics of §6.4.
+// filtering/verification metrics of §6.4. Under a parallel query the
+// per-shard stats are merged in: durations are summed (total work per
+// phase, the Table 4 semantics — wall time is smaller when Parallelism
+// spreads that work over several workers), counters are summed, and
+// Shards/Workers record the pipeline shape.
 type QueryStats struct {
 	// MinCandTime, LookupTime, VerifyTime decompose the query (Table 4).
 	MinCandTime time.Duration
@@ -110,8 +128,15 @@ type QueryStats struct {
 	CSum float64
 	// Candidates is |C|, the verified candidate count (Figure 11).
 	Candidates int
-	// Verify carries UPR/CMR/TUR counters (Table 5).
+	// Verify carries UPR/CMR/TUR counters (Table 5). StepDPCalls and
+	// TrieNodes may exceed the sequential run's at Parallelism > 1: each
+	// shard worker has its own trie cache, so columns shared across
+	// shards are recomputed per shard. Matches/Candidates never differ.
 	Verify verify.Stats
+	// Shards is the number of index partitions this query scanned;
+	// Workers is the number of shard workers that processed them
+	// (min(Parallelism, Shards); 1 on the sequential path).
+	Shards, Workers int
 }
 
 // TemporalMode selects the §4.3 constraint form.
@@ -136,6 +161,14 @@ type Query struct {
 	Tau float64
 	// Verify selects the verification mode/ablations; zero value = BT.
 	Verify verify.Options
+	// Parallelism caps the number of shard workers verifying this query:
+	// 0 = auto (min(GOMAXPROCS, shard count)), 1 = the sequential path
+	// (one verifier, trie cache shared across every candidate — the
+	// pre-sharding behavior), N > 1 = up to N workers, one index shard
+	// per task. Every setting returns the identical sorted match set with
+	// identical WED values and candidate counts; only throughput and the
+	// cache-sharing stats differ.
+	Parallelism int
 	// Temporal constrains matches to the window [Lo, Hi] under Mode.
 	Temporal struct {
 		Mode   TemporalMode
@@ -157,7 +190,9 @@ var ErrEmptyQuery = errors.New("core: empty query")
 var ErrTauTooLarge = errors.New("core: τ exceeds wed(ε, Q)")
 
 // Search answers the subtrajectory similarity search of Definition 3 with
-// default options.
+// default options. Matches are sorted by (ID, S, T) — every search path
+// returns this canonical order (see traj.SortMatches), so repeated runs
+// and different Parallelism settings are byte-for-byte comparable.
 func (e *Engine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) {
 	res, _, err := e.SearchQuery(Query{Q: q, Tau: tau})
 	return res, err
@@ -173,10 +208,10 @@ func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
 		// and the problem is ill-posed.
 		return nil, nil, fmt.Errorf("%w: τ = %g, wed(ε, Q) = %g; query would match empty subtrajectories", ErrTauTooLarge, qr.Tau, wed.SumIns(e.costs, qr.Q))
 	}
-	stats := &QueryStats{}
+	stats := &QueryStats{Shards: e.sidx.NumShards()}
 
 	start := time.Now()
-	plan, err := filter.BuildPlan(e.costs, e.inv, qr.Q, qr.Tau)
+	plan, err := filter.BuildPlan(e.costs, e.sidx, qr.Q, qr.Tau)
 	stats.MinCandTime = time.Since(start)
 	if err != nil {
 		return nil, nil, err
@@ -184,32 +219,22 @@ func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
 	stats.SubseqLen = len(plan.Subseq)
 	stats.CSum = plan.CSum
 
-	start = time.Now()
-	var cands []filter.Candidate
 	temporal := qr.Temporal.Mode != TemporalNone
-	switch {
-	case temporal && !qr.Temporal.DisablePrefilter && qr.Temporal.Mode == TemporalDeparture:
+	if temporal && !qr.Temporal.DisablePrefilter && qr.Temporal.Mode == TemporalDeparture {
 		e.ensureTemporalIndex()
-		cands = plan.CandidatesByDeparture(e.inv, qr.Temporal.Lo, qr.Temporal.Hi, nil)
-	case temporal && !qr.Temporal.DisablePrefilter:
-		cands = plan.CandidatesInWindow(e.inv, qr.Temporal.Lo, qr.Temporal.Hi, nil)
-	default:
-		cands = plan.Candidates(e.inv, nil)
 	}
-	stats.LookupTime = time.Since(start)
-	stats.Candidates = len(cands)
 
-	start = time.Now()
-	ver := verify.New(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
-	for _, c := range cands {
-		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
+	workers := e.EffectiveParallelism(qr.Parallelism)
+	stats.Workers = workers
+	var res []traj.Match
+	if workers <= 1 {
+		res = e.runSequential(&qr, plan, stats)
+	} else {
+		res = e.runSharded(&qr, plan, workers, stats)
 	}
-	res := ver.Results()
 	if temporal {
 		res = e.applyTemporal(res, qr.Temporal.Mode, qr.Temporal.Lo, qr.Temporal.Hi)
 	}
-	stats.VerifyTime = time.Since(start)
-	stats.Verify = ver.Stats
 	stats.Verify.Matches = len(res)
 	return res, stats, nil
 }

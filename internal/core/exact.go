@@ -18,28 +18,33 @@ func (e *Engine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
 		return nil, ErrEmptyQuery
 	}
 	// Rarest symbol minimises candidates (the MinCand intuition with
-	// B(q) = {q} and c(q) uniform).
+	// B(q) = {q} and c(q) uniform). Frequencies are global, so the
+	// chosen symbol does not depend on the shard count.
 	rarest := 0
 	for i, sym := range q {
-		if e.inv.Freq(sym) < e.inv.Freq(q[rarest]) {
+		if e.sidx.Freq(sym) < e.sidx.Freq(q[rarest]) {
 			rarest = i
 		}
 	}
 	var out []traj.Match
-	for _, post := range e.inv.Postings(q[rarest]) {
-		s := int(post.Pos) - rarest
-		p := e.ds.Path(post.ID)
-		if s < 0 || s+len(q) > len(p) {
-			continue
-		}
-		if symbolsEqual(p[s:s+len(q)], q) {
-			out = append(out, traj.Match{
-				ID: post.ID,
-				S:  int32(s),
-				T:  int32(s + len(q) - 1),
-			})
+	for sh := 0; sh < e.sidx.NumShards(); sh++ {
+		for _, post := range e.sidx.Shard(sh).Postings(q[rarest]) {
+			s := int(post.Pos) - rarest
+			p := e.ds.Path(post.ID)
+			if s < 0 || s+len(q) > len(p) {
+				continue
+			}
+			if symbolsEqual(p[s:s+len(q)], q) {
+				out = append(out, traj.Match{
+					ID: post.ID,
+					S:  int32(s),
+					T:  int32(s + len(q) - 1),
+				})
+			}
 		}
 	}
+	// Canonical result order (shard concatenation interleaves IDs).
+	traj.SortMatches(out)
 	return out, nil
 }
 

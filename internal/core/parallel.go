@@ -1,0 +1,190 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subtraj/internal/filter"
+	"subtraj/internal/index"
+	"subtraj/internal/traj"
+	"subtraj/internal/verify"
+)
+
+// This file is the sharded intra-query pipeline: candidate generation and
+// verification run per index shard, optionally on several workers. The
+// filter/verify split of Algorithm 2 is independent along the trajectory
+// axis — a candidate (id, j, iq) only ever touches trajectory id — and the
+// §5 trie cache shares state only within one τ-subsequence position, so
+// partitioning trajectories across workers changes no result: every
+// Parallelism setting returns the same sorted matches with the same WED
+// values. Per-worker tries do lose cross-shard column sharing, which shows
+// up only in the CMR/TrieNodes stats.
+
+// EffectiveParallelism resolves the Query.Parallelism knob: 0 = auto (one
+// worker per CPU), clamped to the shard count since a shard is the unit of
+// work. Exported so concurrency-metering callers (the server's shared
+// worker budget) reserve exactly the workers the engine will use.
+func (e *Engine) EffectiveParallelism(p int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if n := e.sidx.NumShards(); p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// candBufs pools candidate slices so steady-state queries reuse lookup
+// buffers instead of growing a fresh slice per query (and per shard).
+var candBufs = sync.Pool{New: func() any { return new([]filter.Candidate) }}
+
+func getCandBuf() *[]filter.Candidate {
+	buf := candBufs.Get().(*[]filter.Candidate)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// shardCandidates generates one shard's candidate stream for the query's
+// temporal mode into dst.
+func (e *Engine) shardCandidates(qr *Query, plan *filter.Plan, src index.PostingSource, dst []filter.Candidate) []filter.Candidate {
+	temporal := qr.Temporal.Mode != TemporalNone
+	switch {
+	case temporal && !qr.Temporal.DisablePrefilter && qr.Temporal.Mode == TemporalDeparture:
+		return plan.CandidatesByDeparture(src, qr.Temporal.Lo, qr.Temporal.Hi, dst)
+	case temporal && !qr.Temporal.DisablePrefilter:
+		return plan.CandidatesInWindow(src, qr.Temporal.Lo, qr.Temporal.Hi, dst)
+	default:
+		return plan.Candidates(src, dst)
+	}
+}
+
+// runSequential is the Parallelism == 1 path: one candidate slice over
+// all shards, one pooled verifier whose tries are shared across every
+// candidate — exactly the pre-sharding engine behavior.
+func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) []traj.Match {
+	start := time.Now()
+	buf := getCandBuf()
+	cands := *buf
+	for s := 0; s < e.sidx.NumShards(); s++ {
+		cands = e.shardCandidates(qr, plan, e.sidx.Shard(s), cands)
+	}
+	stats.LookupTime = time.Since(start)
+	stats.Candidates = len(cands)
+
+	start = time.Now()
+	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	for _, c := range cands {
+		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
+	}
+	res := ver.Results()
+	stats.VerifyTime = time.Since(start)
+	stats.Verify = ver.Stats
+	verify.Put(ver)
+	*buf = cands
+	candBufs.Put(buf)
+	return res
+}
+
+// workerPanic wraps a recovered panic value so atomic.Value always
+// stores one concrete type regardless of what the panic carried.
+type workerPanic struct{ val any }
+
+// shardOut is one shard task's contribution to the merged answer.
+type shardOut struct {
+	matches []traj.Match
+	lookup  time.Duration
+	verify  time.Duration
+	cands   int
+	vstats  verify.Stats
+}
+
+// runSharded fans the shards out over `workers` goroutines. Each task
+// generates one shard's candidates (grouped by trajectory for locality),
+// verifies them with a pooled per-task verifier, and reports sorted
+// per-shard matches; the merge concatenates and re-sorts, which is
+// deterministic because shards partition trajectory IDs (per-shard result
+// sets are disjoint) and every list arrives in (ID, S, T) order.
+func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *QueryStats) []traj.Match {
+	numShards := e.sidx.NumShards()
+	outs := make([]shardOut, numShards)
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	var panicked atomic.Value // first worker panic, re-raised on the caller
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, workerPanic{p})
+					// Drain so the feeder below never blocks on a
+					// worker that died mid-queue.
+					for range tasks {
+					}
+				}
+			}()
+			for s := range tasks {
+				outs[s] = e.runShard(qr, plan, s)
+			}
+		}()
+	}
+	for s := 0; s < numShards; s++ {
+		tasks <- s
+	}
+	close(tasks)
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		// Re-panic on the query's own goroutine: a panicking cost model
+		// then behaves exactly as on the sequential path (net/http's
+		// per-request recover catches it) instead of killing the process
+		// from a bare worker goroutine.
+		panic(p.(workerPanic).val)
+	}
+
+	var total int
+	for s := range outs {
+		o := &outs[s]
+		total += len(o.matches)
+		stats.LookupTime += o.lookup
+		stats.VerifyTime += o.verify
+		stats.Candidates += o.cands
+		stats.Verify.Add(o.vstats)
+	}
+	res := make([]traj.Match, 0, total)
+	for s := range outs {
+		res = append(res, outs[s].matches...)
+	}
+	// Shard s owns IDs ≡ s (mod P), so concatenation interleaves IDs;
+	// one sort restores the canonical (ID, S, T) order.
+	traj.SortMatches(res)
+	return res
+}
+
+// runShard executes the filter and verify phases over one shard.
+func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
+	var out shardOut
+	start := time.Now()
+	buf := getCandBuf()
+	cands := e.shardCandidates(qr, plan, e.sidx.Shard(s), *buf)
+	filter.GroupByTrajectory(cands)
+	out.lookup = time.Since(start)
+	out.cands = len(cands)
+
+	start = time.Now()
+	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	for _, c := range cands {
+		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
+	}
+	out.matches = ver.Results()
+	out.verify = time.Since(start)
+	out.vstats = ver.Stats
+	verify.Put(ver)
+	*buf = cands
+	candBufs.Put(buf)
+	return out
+}

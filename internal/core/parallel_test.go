@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"subtraj/internal/core"
+	"subtraj/internal/testutil"
+	"subtraj/internal/traj"
+	"subtraj/internal/verify"
+	"subtraj/internal/wed"
+)
+
+// assertIdenticalResults enforces the sharded pipeline's determinism
+// contract: not merely the same match set, but the exact same slice —
+// same (ID, S, T) order, bit-for-bit equal WED values.
+func assertIdenticalResults(t *testing.T, label string, got, want []traj.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelismEquivalence is the cross-check the sharded pipeline
+// must pass: for seeded workloads and every cost model, Parallelism N
+// returns exactly the Parallelism 1 answer — identical sorted matches,
+// identical WED bits, identical candidate counts. CI runs it under
+// -race, which also exercises the shard workers for data races.
+func TestParallelismEquivalence(t *testing.T) {
+	for _, seed := range []int64{21, 22} {
+		env := testutil.NewEnv(seed, 40, 24)
+		for _, m := range env.Models() {
+			eng := core.NewEngineShards(m.DS, m.Costs, 4)
+			if eng.NumShards() != 4 {
+				t.Fatalf("NumShards = %d, want 4", eng.NumShards())
+			}
+			q := env.Query(m, 8)
+			tau := oracleTaus(m.Costs, m.DS, q)[1]
+			base, baseStats, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("seed=%d model=%s: %v", seed, m.Name, err)
+			}
+			if baseStats.Workers != 1 {
+				t.Fatalf("%s: sequential path reported %d workers", m.Name, baseStats.Workers)
+			}
+			for _, par := range []int{2, 3, 4, 8} {
+				got, stats, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: par})
+				if err != nil {
+					t.Fatalf("seed=%d model=%s par=%d: %v", seed, m.Name, par, err)
+				}
+				label := m.Name + "/par"
+				assertIdenticalResults(t, label, got, base)
+				if stats.Candidates != baseStats.Candidates {
+					t.Fatalf("%s par=%d: %d candidates, want %d", m.Name, par, stats.Candidates, baseStats.Candidates)
+				}
+				if stats.Verify.ColumnsAvailable != baseStats.Verify.ColumnsAvailable {
+					t.Fatalf("%s par=%d: ColumnsAvailable %d != %d", m.Name, par, stats.Verify.ColumnsAvailable, baseStats.Verify.ColumnsAvailable)
+				}
+				if want := min(par, 4); stats.Workers != want {
+					t.Fatalf("%s par=%d: Workers = %d, want %d", m.Name, par, stats.Workers, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismEquivalenceModes covers the verification-mode ablations
+// and the temporal constraint forms over the sharded path.
+func TestParallelismEquivalenceModes(t *testing.T) {
+	env := testutil.NewEnv(23, 40, 24)
+	m := env.Models()[1] // EDR
+	eng := core.NewEngineShards(m.DS, m.Costs, 3)
+	q := env.Query(m, 8)
+	tau := oracleTaus(m.Costs, m.DS, q)[2]
+
+	for _, mode := range []verify.Mode{verify.ModeBT, verify.ModeLocal, verify.ModeSW} {
+		qr := core.Query{Q: q, Tau: tau, Verify: verify.Options{Mode: mode}}
+		qr.Parallelism = 1
+		base, _, err := eng.SearchQuery(qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr.Parallelism = 3
+		got, _, err := eng.SearchQuery(qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalResults(t, "mode="+mode.String(), got, base)
+	}
+
+	lo, hi := 0.0, 1800.0
+	for _, mode := range []core.TemporalMode{core.TemporalOverlap, core.TemporalContain, core.TemporalDeparture} {
+		for _, noPre := range []bool{false, true} {
+			qr := core.Query{Q: q, Tau: tau}
+			qr.Temporal.Mode = mode
+			qr.Temporal.Lo, qr.Temporal.Hi = lo, hi
+			qr.Temporal.DisablePrefilter = noPre
+			qr.Parallelism = 1
+			base, _, err := eng.SearchQuery(qr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qr.Parallelism = 3
+			got, _, err := eng.SearchQuery(qr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdenticalResults(t, "temporal", got, base)
+		}
+	}
+}
+
+// TestShardedEngineMatchesSingleShard checks that the shard count itself
+// (not just the worker count) leaves results unchanged, including after
+// incremental appends.
+func TestShardedEngineMatchesSingleShard(t *testing.T) {
+	env := testutil.NewEnv(24, 40, 24)
+	m := env.Models()[0] // Lev
+	q := env.Query(m, 8)
+	tau := oracleTaus(m.Costs, m.DS, q)[1]
+
+	one := core.NewEngineShards(m.DS, m.Costs, 1)
+	want, err := one.Search(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 5} {
+		eng := core.NewEngineShards(m.DS, m.Costs, shards)
+		got, err := eng.Search(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalResults(t, "shards", got, want)
+	}
+
+	// Append half the dataset incrementally into a sharded engine.
+	half := m.DS.Len() / 2
+	partial := &traj.Dataset{Rep: m.DS.Rep}
+	for i := 0; i < half; i++ {
+		partial.Add(m.DS.Trajs[i])
+	}
+	eng := core.NewEngineShards(partial, m.Costs, 4)
+	for i := half; i < m.DS.Len(); i++ {
+		eng.Append(m.DS.Trajs[i])
+	}
+	got, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalResults(t, "append+sharded", got, want)
+}
+
+// panickyCosts wraps a cost model and panics on the Nth Sub call,
+// simulating a broken user-supplied cost model.
+type panickyCosts struct {
+	wed.FilterCosts
+	calls *int32
+	after int32
+}
+
+func (p panickyCosts) Sub(a, b traj.Symbol) float64 {
+	if atomic.AddInt32(p.calls, 1) > p.after {
+		panic("cost model exploded")
+	}
+	return p.FilterCosts.Sub(a, b)
+}
+
+// TestShardWorkerPanicReachesCaller checks that a panic inside a shard
+// worker re-raises on the query's own goroutine (where net/http-style
+// recovery can catch it) instead of crashing the process from a bare
+// goroutine — which would be untestable here.
+func TestShardWorkerPanicReachesCaller(t *testing.T) {
+	env := testutil.NewEnv(26, 40, 24)
+	m := env.Models()[0]
+	var calls int32
+	costs := panickyCosts{FilterCosts: m.Costs, calls: &calls, after: 50}
+	eng := core.NewEngineShards(m.DS, costs, 4)
+	q := env.Query(m, 8)
+	tau := oracleTaus(m.Costs, m.DS, q)[1]
+
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	_, _, _ = eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 4})
+}
+
+// TestSearchReturnsSortedMatches pins the ordering contract every caller
+// (and the shard merge) relies on.
+func TestSearchReturnsSortedMatches(t *testing.T) {
+	env := testutil.NewEnv(25, 40, 24)
+	for _, m := range env.Models()[:2] {
+		eng := core.NewEngineShards(m.DS, m.Costs, 4)
+		q := env.Query(m, 8)
+		tau := oracleTaus(m.Costs, m.DS, q)[2]
+		for _, par := range []int{1, 4} {
+			got, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(got); i++ {
+				a, b := got[i-1], got[i]
+				if a.ID > b.ID || (a.ID == b.ID && (a.S > b.S || (a.S == b.S && a.T >= b.T))) {
+					t.Fatalf("%s par=%d: matches out of (ID,S,T) order at %d: %+v then %+v", m.Name, par, i, a, b)
+				}
+			}
+		}
+		exact, err := eng.SearchExact(q[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(exact); i++ {
+			if exact[i-1].ID > exact[i].ID {
+				t.Fatalf("SearchExact out of ID order at %d", i)
+			}
+		}
+	}
+}

@@ -20,6 +20,14 @@ import (
 // can answer exactly; trajectories farther away than the ceiling are not
 // reported.
 func (e *Engine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
+	return e.SearchTopKP(q, k, 0)
+}
+
+// SearchTopKP is SearchTopK with an explicit shard-parallelism cap for
+// the underlying threshold-growing searches (0 = auto; see
+// Query.Parallelism). Callers that meter concurrency — the server's
+// shared worker budget — pass the parallelism they reserved.
+func (e *Engine) SearchTopKP(q []traj.Symbol, k, parallelism int) ([]traj.Match, error) {
 	if len(q) == 0 {
 		return nil, ErrEmptyQuery
 	}
@@ -36,7 +44,7 @@ func (e *Engine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
 
 	tau := ceiling / 64
 	for {
-		res, _, err := e.SearchQuery(Query{Q: q, Tau: tau})
+		res, _, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})
 		if err != nil {
 			return nil, err
 		}

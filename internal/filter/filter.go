@@ -8,6 +8,7 @@ package filter
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"subtraj/internal/index"
 	"subtraj/internal/traj"
@@ -56,10 +57,18 @@ func (e ErrInfeasible) Error() string {
 	return fmt.Sprintf("filter: no τ-subsequence exists: c(Q) = %g < τ = %g (increase η or lower τ)", e.CQ, e.Tau)
 }
 
+// Freqs supplies the dataset-wide occurrence counts n(q) the MinCand
+// objective optimises. Both the flat index.Inverted and the sharded
+// index.Sharded provide it; a sharded index reports global counts so the
+// chosen plan is independent of the shard count.
+type Freqs interface {
+	Freq(q traj.Symbol) int
+}
+
 // BuildPlan chooses a τ-subsequence of q minimising the candidate count
 // via Algorithm 1 and precomputes the neighbourhoods. costs provides c(q)
-// and B(q); inv provides the frequencies n(b).
-func BuildPlan(costs wed.FilterCosts, inv *index.Inverted, q []traj.Symbol, tau float64) (*Plan, error) {
+// and B(q); freqs provides the frequencies n(b).
+func BuildPlan(costs wed.FilterCosts, freqs Freqs, q []traj.Symbol, tau float64) (*Plan, error) {
 	n := len(q)
 	c := make([]float64, n)
 	neighbors := make([][]traj.Symbol, n)
@@ -70,7 +79,7 @@ func BuildPlan(costs wed.FilterCosts, inv *index.Inverted, q []traj.Symbol, tau 
 		neighbors[i] = costs.Neighbors(sym, nil)
 		var vol int
 		for _, b := range neighbors[i] {
-			vol += inv.Freq(b)
+			vol += freqs.Freq(b)
 		}
 		nq[i] = float64(vol)
 		cTotal += c[i]
@@ -161,11 +170,13 @@ func sortInts(xs []int) {
 // Candidates generates the candidate set of Algorithm 2 (lines 3–6):
 // every posting of every neighbour of every chosen item. The result may
 // reference the same (id, pos) under different iq — those are distinct
-// candidates by construction (see the Remark under Definition 5).
-func (p *Plan) Candidates(inv *index.Inverted, dst []Candidate) []Candidate {
+// candidates by construction (see the Remark under Definition 5). src may
+// be the whole index or one shard of a sharded index; the candidate set
+// over all shards is exactly the flat index's set.
+func (p *Plan) Candidates(src index.PostingSource, dst []Candidate) []Candidate {
 	for i, it := range p.Subseq {
 		for _, b := range p.Neighbors[i] {
-			for _, pos := range inv.Postings(b) {
+			for _, pos := range src.Postings(b) {
 				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
 			}
 		}
@@ -176,11 +187,11 @@ func (p *Plan) Candidates(inv *index.Inverted, dst []Candidate) []Candidate {
 // CandidatesInWindow is Candidates restricted to trajectories whose
 // [departure, arrival] interval overlaps [lo, hi] (the TF pre-filter of
 // §4.3 and Figure 12).
-func (p *Plan) CandidatesInWindow(inv *index.Inverted, lo, hi float64, dst []Candidate) []Candidate {
+func (p *Plan) CandidatesInWindow(src index.PostingSource, lo, hi float64, dst []Candidate) []Candidate {
 	for i, it := range p.Subseq {
 		for _, b := range p.Neighbors[i] {
-			for _, pos := range inv.Postings(b) {
-				if !inv.IntervalOverlaps(pos.ID, lo, hi) {
+			for _, pos := range src.Postings(b) {
+				if !src.IntervalOverlaps(pos.ID, lo, hi) {
 					continue
 				}
 				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
@@ -194,13 +205,22 @@ func (p *Plan) CandidatesInWindow(inv *index.Inverted, lo, hi float64, dst []Can
 // departure time lies in [lo, hi], using binary search on the
 // departure-sorted postings (§4.3's sorted-postings optimisation). The
 // caller must have built the temporal order (index.BuildTemporal).
-func (p *Plan) CandidatesByDeparture(inv *index.Inverted, lo, hi float64, dst []Candidate) []Candidate {
+func (p *Plan) CandidatesByDeparture(src index.PostingSource, lo, hi float64, dst []Candidate) []Candidate {
 	for i, it := range p.Subseq {
 		for _, b := range p.Neighbors[i] {
-			for _, pos := range inv.PostingsInWindow(b, lo, hi) {
+			for _, pos := range src.PostingsInWindow(b, lo, hi) {
 				dst = append(dst, Candidate{ID: pos.ID, Pos: pos.Pos, IQ: it.Pos})
 			}
 		}
 	}
 	return dst
+}
+
+// GroupByTrajectory stably sorts candidates by trajectory ID, so a
+// verifier visits each trajectory's candidates consecutively (one Path
+// lookup per trajectory instead of per candidate). The per-trajectory
+// candidate order — and therefore every verification result — is
+// unchanged; the shard pipeline applies this to each shard's stream.
+func GroupByTrajectory(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
 }

@@ -85,11 +85,28 @@ func (inv *Inverted) BuildTemporal() {
 	for sym, list := range inv.lists {
 		cp := make([]Posting, len(list))
 		copy(cp, list)
-		sort.SliceStable(cp, func(i, j int) bool {
-			return inv.departures[cp[i].ID] < inv.departures[cp[j].ID]
-		})
+		sortByDeparture(cp, inv.departures)
 		inv.byDeparture[sym] = cp
 	}
+}
+
+// sortByDeparture orders postings by the owning trajectory's departure
+// time (stable, so insertion order breaks ties deterministically).
+func sortByDeparture(ps []Posting, departures []float64) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		return departures[ps[i].ID] < departures[ps[j].ID]
+	})
+}
+
+// postingsInWindow binary-searches a departure-sorted postings list for
+// the [lo, hi] departure window.
+func postingsInWindow(list []Posting, departures []float64, lo, hi float64) []Posting {
+	a := sort.Search(len(list), func(i int) bool { return departures[list[i].ID] >= lo })
+	b := sort.Search(len(list), func(i int) bool { return departures[list[i].ID] > hi })
+	if a >= b {
+		return nil
+	}
+	return list[a:b]
 }
 
 // PostingsInWindow returns the postings of q whose trajectory departure
@@ -102,13 +119,7 @@ func (inv *Inverted) BuildTemporal() {
 // callers use this only for constraints of the form [T_1, T_n] ⊆ I; the
 // more permissive overlap constraint uses Postings plus IntervalOverlaps.
 func (inv *Inverted) PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting {
-	list := inv.byDeparture[q]
-	a := sort.Search(len(list), func(i int) bool { return inv.departures[list[i].ID] >= lo })
-	b := sort.Search(len(list), func(i int) bool { return inv.departures[list[i].ID] > hi })
-	if a >= b {
-		return nil
-	}
-	return list[a:b]
+	return postingsInWindow(inv.byDeparture[q], inv.departures, lo, hi)
 }
 
 // IntervalOverlaps reports whether trajectory id's [departure, arrival]

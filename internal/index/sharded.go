@@ -1,0 +1,262 @@
+package index
+
+import (
+	"runtime"
+	"sync"
+
+	"subtraj/internal/traj"
+)
+
+// This file adds the trajectory-sharded variant of the inverted index.
+// A Sharded index partitions postings by trajectory ID into P shards
+// (shard(id) = id mod P), each exposing the same read surface as the flat
+// Inverted index, so candidate generation and verification can run
+// shard-parallel within one query: the paper's filter/verify split (§4–§5)
+// is independent along the trajectory axis, and the §5 trie cache only
+// shares state within one τ-subsequence position, never across shards.
+// Global statistics (n(q) frequencies, departure intervals) stay
+// shard-independent so the MinCand plan — and therefore the candidate set —
+// is identical at every shard count.
+
+// PostingSource is the read surface candidate generation needs: the flat
+// Inverted index and each Shard of a Sharded index both provide it, so
+// the filter layer is agnostic to how postings are partitioned.
+type PostingSource interface {
+	// Postings returns the postings list L_q (shared; do not modify).
+	Postings(q traj.Symbol) []Posting
+	// PostingsInWindow returns the postings of q whose trajectory departs
+	// in [lo, hi] (requires the temporal order to have been built).
+	PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting
+	// IntervalOverlaps reports whether trajectory id's [departure,
+	// arrival] interval intersects [lo, hi].
+	IntervalOverlaps(id int32, lo, hi float64) bool
+}
+
+var (
+	_ PostingSource = (*Inverted)(nil)
+	_ PostingSource = (*Shard)(nil)
+)
+
+// Sharded is an inverted index partitioned by trajectory ID into P shards.
+// It answers the global queries plan building needs (Freq, Interval) and
+// exposes per-shard PostingSources for parallel candidate generation.
+// Like Inverted, it is safe for concurrent readers once built; Append and
+// BuildTemporal are writes.
+type Sharded struct {
+	shards []Shard
+	// departures/arrivals are global (indexed by trajectory ID): every
+	// shard shares them, and the temporal pre-filter reads them directly.
+	departures []float64
+	arrivals   []float64
+	// freq is the global n(q) over all shards — the MinCand objective
+	// must see dataset-wide frequencies so the chosen τ-subsequence does
+	// not depend on the shard count.
+	freq        map[traj.Symbol]int
+	numPostings int
+	// flat, when non-nil, is the Inverted this index wraps zero-copy
+	// (ShardedFromInverted). Appends must go through it so the shared
+	// flat index stays internally consistent for its other users.
+	flat *Inverted
+}
+
+// Shard is one trajectory partition of a Sharded index. It implements
+// PostingSource over only its own trajectories.
+type Shard struct {
+	parent      *Sharded
+	lists       map[traj.Symbol][]Posting
+	byDeparture map[traj.Symbol][]Posting
+}
+
+// DefaultShards picks the shard count for auto configuration: one shard
+// per available CPU, so a fully parallel query can saturate the machine.
+// The tradeoff is deliberate: a sequential query over a P-shard index
+// pays P map lookups per neighbour symbol instead of one, a few percent
+// of the lookup phase, in exchange for every engine being ready to fan
+// out without a rebuild. Callers that will only ever run sequentially
+// can pass an explicit shard count of 1.
+func DefaultShards() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// BuildSharded indexes the dataset into p shards (p < 1 selects
+// DefaultShards). Shards are built in parallel — each worker scans only
+// its own ID residue class, so no synchronisation is needed until the
+// final frequency merge.
+func BuildSharded(ds *traj.Dataset, p int) *Sharded {
+	if p < 1 {
+		p = DefaultShards()
+	}
+	if n := ds.Len(); p > n && n > 0 {
+		p = n // more shards than trajectories would just be empty maps
+	}
+	x := &Sharded{
+		shards:     make([]Shard, p),
+		departures: make([]float64, ds.Len()),
+		arrivals:   make([]float64, ds.Len()),
+		freq:       make(map[traj.Symbol]int),
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		x.shards[s] = Shard{parent: x, lists: make(map[traj.Symbol][]Posting)}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := &x.shards[s]
+			for id := s; id < ds.Len(); id += p {
+				t := ds.Get(int32(id))
+				for pos, sym := range t.Path {
+					sh.lists[sym] = append(sh.lists[sym], Posting{ID: int32(id), Pos: int32(pos)})
+				}
+				lo, hi, ok := t.Interval()
+				if !ok {
+					lo, hi = 0, 0
+				}
+				x.departures[id] = lo
+				x.arrivals[id] = hi
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s := range x.shards {
+		for sym, list := range x.shards[s].lists {
+			x.freq[sym] += len(list)
+			x.numPostings += len(list)
+		}
+	}
+	return x
+}
+
+// ShardedFromInverted wraps an already-built flat index as a single-shard
+// Sharded index without copying postings (used by callers that share one
+// Inverted across engines, e.g. the dataset-size sweeps).
+func ShardedFromInverted(inv *Inverted) *Sharded {
+	x := &Sharded{
+		shards:      make([]Shard, 1),
+		departures:  inv.departures,
+		arrivals:    inv.arrivals,
+		freq:        make(map[traj.Symbol]int, len(inv.lists)),
+		numPostings: inv.numPostings,
+		flat:        inv,
+	}
+	for sym, list := range inv.lists {
+		x.freq[sym] = len(list)
+	}
+	x.shards[0] = Shard{parent: x, lists: inv.lists, byDeparture: inv.byDeparture}
+	return x
+}
+
+// NumShards returns the partition count P.
+func (x *Sharded) NumShards() int { return len(x.shards) }
+
+// Shard returns the i-th partition's posting source.
+func (x *Sharded) Shard(i int) *Shard { return &x.shards[i] }
+
+// ShardOf returns the shard index owning trajectory id.
+func (x *Sharded) ShardOf(id int32) int { return int(id) % len(x.shards) }
+
+// Freq returns the global n(q) across all shards (the MinCand input).
+func (x *Sharded) Freq(q traj.Symbol) int { return x.freq[q] }
+
+// NumPostings returns the total posting count across shards.
+func (x *Sharded) NumPostings() int { return x.numPostings }
+
+// NumSymbols returns the number of distinct symbols with postings.
+func (x *Sharded) NumSymbols() int { return len(x.freq) }
+
+// Interval returns trajectory id's [departure, arrival] span.
+func (x *Sharded) Interval(id int32) (lo, hi float64) {
+	return x.departures[id], x.arrivals[id]
+}
+
+// IntervalOverlaps reports whether trajectory id's interval intersects
+// [lo, hi].
+func (x *Sharded) IntervalOverlaps(id int32, lo, hi float64) bool {
+	return x.departures[id] <= hi && x.arrivals[id] >= lo
+}
+
+// Append adds one trajectory's postings to its owning shard (the
+// incremental update of §4.1). IDs must be appended in increasing order,
+// as with Inverted.Append. Not safe against concurrent readers.
+func (x *Sharded) Append(id int32, t *traj.Trajectory) {
+	if int(id) != len(x.departures) {
+		// IDs are dense; the engine always appends the next ID.
+		panic("index: non-sequential sharded append")
+	}
+	if x.flat != nil {
+		// Zero-copy wrap: delegate to the shared flat index — it updates
+		// the postings lists the single shard aliases — then re-sync the
+		// wrapper's global views (Inverted.Append may have reallocated
+		// the departure slices and has its own numPostings).
+		x.flat.Append(id, t)
+		for _, sym := range t.Path {
+			x.freq[sym]++
+		}
+		x.numPostings = x.flat.numPostings
+		x.departures, x.arrivals = x.flat.departures, x.flat.arrivals
+		x.shards[0].lists = x.flat.lists
+		x.shards[0].byDeparture = nil // temporal order is stale
+		return
+	}
+	sh := &x.shards[x.ShardOf(id)]
+	for pos, sym := range t.Path {
+		sh.lists[sym] = append(sh.lists[sym], Posting{ID: id, Pos: int32(pos)})
+		x.freq[sym]++
+	}
+	x.numPostings += len(t.Path)
+	lo, hi, ok := t.Interval()
+	if !ok {
+		lo, hi = 0, 0
+	}
+	x.departures = append(x.departures, lo)
+	x.arrivals = append(x.arrivals, hi)
+	sh.byDeparture = nil // this shard's temporal order is stale
+}
+
+// BuildTemporal materialises the departure-sorted postings order of every
+// shard (§4.3), in parallel across shards. Shards whose order is still
+// current are skipped — an Append invalidates only its owning shard, so
+// post-append recovery re-sorts 1/P of the postings, not all of them.
+func (x *Sharded) BuildTemporal() {
+	var wg sync.WaitGroup
+	for s := range x.shards {
+		if x.shards[s].byDeparture != nil {
+			continue // still valid: this shard's postings are unchanged
+		}
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			sh.buildTemporal()
+		}(&x.shards[s])
+	}
+	wg.Wait()
+}
+
+func (sh *Shard) buildTemporal() {
+	dep := sh.parent.departures
+	sh.byDeparture = make(map[traj.Symbol][]Posting, len(sh.lists))
+	for sym, list := range sh.lists {
+		cp := make([]Posting, len(list))
+		copy(cp, list)
+		sortByDeparture(cp, dep)
+		sh.byDeparture[sym] = cp
+	}
+}
+
+// Postings returns this shard's postings of q (shared; do not modify).
+func (sh *Shard) Postings(q traj.Symbol) []Posting { return sh.lists[q] }
+
+// Freq returns this shard's occurrence count of q.
+func (sh *Shard) Freq(q traj.Symbol) int { return len(sh.lists[q]) }
+
+// PostingsInWindow returns this shard's postings of q whose trajectory
+// departs in [lo, hi] (buildTemporal must have run; see
+// Inverted.PostingsInWindow for the departure-window semantics).
+func (sh *Shard) PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting {
+	return postingsInWindow(sh.byDeparture[q], sh.parent.departures, lo, hi)
+}
+
+// IntervalOverlaps reports whether trajectory id's interval intersects
+// [lo, hi].
+func (sh *Shard) IntervalOverlaps(id int32, lo, hi float64) bool {
+	return sh.parent.IntervalOverlaps(id, lo, hi)
+}

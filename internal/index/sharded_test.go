@@ -1,0 +1,227 @@
+package index
+
+import (
+	"testing"
+
+	"subtraj/internal/traj"
+	"subtraj/internal/workload"
+)
+
+func shardedTestData(t *testing.T) *traj.Dataset {
+	t.Helper()
+	cfg := workload.Tiny(7)
+	cfg.NumTrajectories = 40
+	return workload.Generate(cfg).Data
+}
+
+// collectPostings gathers every (symbol, id, pos) triple a source exposes
+// for the given symbols.
+func collectPostings(src PostingSource, syms []traj.Symbol) map[traj.Symbol]map[Posting]bool {
+	out := make(map[traj.Symbol]map[Posting]bool)
+	for _, s := range syms {
+		for _, p := range src.Postings(s) {
+			if out[s] == nil {
+				out[s] = make(map[Posting]bool)
+			}
+			out[s][p] = true
+		}
+	}
+	return out
+}
+
+func symbolsOf(ds *traj.Dataset) []traj.Symbol {
+	seen := map[traj.Symbol]bool{}
+	var syms []traj.Symbol
+	for i := range ds.Trajs {
+		for _, s := range ds.Trajs[i].Path {
+			if !seen[s] {
+				seen[s] = true
+				syms = append(syms, s)
+			}
+		}
+	}
+	return syms
+}
+
+// TestShardedPartitionsFlatIndex checks the core invariant: the union of
+// the shards' postings equals the flat index's postings, shards are
+// disjoint and own exactly their ID residue class, and global frequencies
+// match.
+func TestShardedPartitionsFlatIndex(t *testing.T) {
+	ds := shardedTestData(t)
+	flat := Build(ds)
+	syms := symbolsOf(ds)
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		sh := BuildSharded(ds, p)
+		if sh.NumShards() != p {
+			t.Fatalf("p=%d: NumShards = %d", p, sh.NumShards())
+		}
+		if sh.NumPostings() != flat.NumPostings() {
+			t.Fatalf("p=%d: NumPostings %d != %d", p, sh.NumPostings(), flat.NumPostings())
+		}
+		if sh.NumSymbols() != flat.NumSymbols() {
+			t.Fatalf("p=%d: NumSymbols %d != %d", p, sh.NumSymbols(), flat.NumSymbols())
+		}
+		want := collectPostings(flat, syms)
+		got := make(map[traj.Symbol]map[Posting]bool)
+		for s := 0; s < p; s++ {
+			for sym, set := range collectPostings(sh.Shard(s), syms) {
+				for post := range set {
+					if int(post.ID)%p != s {
+						t.Fatalf("p=%d: shard %d holds posting of trajectory %d", p, s, post.ID)
+					}
+					if got[sym] == nil {
+						got[sym] = make(map[Posting]bool)
+					}
+					if got[sym][post] {
+						t.Fatalf("p=%d: posting %+v of %d appears in two shards", p, post, sym)
+					}
+					got[sym][post] = true
+				}
+			}
+		}
+		for _, sym := range syms {
+			if len(got[sym]) != len(want[sym]) {
+				t.Fatalf("p=%d sym=%d: union size %d != flat %d", p, sym, len(got[sym]), len(want[sym]))
+			}
+			if sh.Freq(sym) != flat.Freq(sym) {
+				t.Fatalf("p=%d sym=%d: Freq %d != %d", p, sym, sh.Freq(sym), flat.Freq(sym))
+			}
+		}
+	}
+}
+
+// TestShardedTemporalWindows checks the per-shard departure-sorted
+// postings against the flat index's.
+func TestShardedTemporalWindows(t *testing.T) {
+	ds := shardedTestData(t)
+	flat := Build(ds)
+	flat.BuildTemporal()
+	sh := BuildSharded(ds, 3)
+	sh.BuildTemporal()
+	syms := symbolsOf(ds)
+	// Probe a few windows spanning the workload horizon.
+	windows := [][2]float64{{0, 600}, {300, 1200}, {0, 1e9}, {2000, 1000}}
+	for _, w := range windows {
+		lo, hi := w[0], w[1]
+		for _, sym := range syms {
+			want := make(map[Posting]bool)
+			for _, p := range flat.PostingsInWindow(sym, lo, hi) {
+				want[p] = true
+			}
+			got := make(map[Posting]bool)
+			for s := 0; s < sh.NumShards(); s++ {
+				for _, p := range sh.Shard(s).PostingsInWindow(sym, lo, hi) {
+					got[p] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("window [%g,%g] sym %d: got %d postings, want %d", lo, hi, sym, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("window [%g,%g] sym %d: missing posting %+v", lo, hi, sym, p)
+				}
+			}
+		}
+	}
+	// Interval overlap must agree with the flat index for every ID.
+	for id := int32(0); int(id) < ds.Len(); id++ {
+		if sh.IntervalOverlaps(id, 100, 900) != flat.IntervalOverlaps(id, 100, 900) {
+			t.Fatalf("IntervalOverlaps disagrees for id %d", id)
+		}
+	}
+}
+
+// TestShardedAppend checks the incremental update lands in the right
+// shard and keeps global stats in sync with a from-scratch build.
+func TestShardedAppend(t *testing.T) {
+	ds := shardedTestData(t)
+	half := ds.Len() / 2
+	partial := &traj.Dataset{Rep: ds.Rep}
+	for i := 0; i < half; i++ {
+		partial.Add(ds.Trajs[i])
+	}
+	sh := BuildSharded(partial, 3)
+	for i := half; i < ds.Len(); i++ {
+		id := partial.Add(ds.Trajs[i])
+		sh.Append(id, partial.Get(id))
+	}
+	full := BuildSharded(ds, 3)
+	if sh.NumPostings() != full.NumPostings() {
+		t.Fatalf("NumPostings %d != %d after appends", sh.NumPostings(), full.NumPostings())
+	}
+	for _, sym := range symbolsOf(ds) {
+		if sh.Freq(sym) != full.Freq(sym) {
+			t.Fatalf("Freq(%d) %d != %d after appends", sym, sh.Freq(sym), full.Freq(sym))
+		}
+		for s := 0; s < 3; s++ {
+			a, b := sh.Shard(s).Postings(sym), full.Shard(s).Postings(sym)
+			if len(a) != len(b) {
+				t.Fatalf("shard %d sym %d: %d postings != %d", s, sym, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("shard %d sym %d posting %d: %+v != %+v", s, sym, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFromInverted checks the zero-copy single-shard wrap.
+func TestShardedFromInverted(t *testing.T) {
+	ds := shardedTestData(t)
+	flat := Build(ds)
+	sh := ShardedFromInverted(flat)
+	if sh.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", sh.NumShards())
+	}
+	for _, sym := range symbolsOf(ds) {
+		if sh.Freq(sym) != flat.Freq(sym) {
+			t.Fatalf("Freq(%d) mismatch", sym)
+		}
+		a, b := sh.Shard(0).Postings(sym), flat.Postings(sym)
+		if len(a) != len(b) {
+			t.Fatalf("postings length mismatch for %d", sym)
+		}
+	}
+}
+
+// TestShardedFromInvertedAppend pins the wrap's append contract: the
+// shared flat index must stay internally consistent (its other users
+// keep reading it), and the wrapper's global views must track it.
+func TestShardedFromInvertedAppend(t *testing.T) {
+	ds := shardedTestData(t)
+	flat := Build(ds)
+	sh := ShardedFromInverted(flat)
+
+	extra := ds.Trajs[0] // re-append a copy of trajectory 0 as a new ID
+	id := ds.Add(extra)
+	sh.Append(id, ds.Get(id))
+
+	if flat.NumPostings() != sh.NumPostings() {
+		t.Fatalf("flat NumPostings %d != wrap %d after append", flat.NumPostings(), sh.NumPostings())
+	}
+	sym := extra.Path[0]
+	fp := flat.Postings(sym)
+	if fp[len(fp)-1].ID != id {
+		t.Fatalf("flat index missing appended posting of %d", id)
+	}
+	if got, want := sh.Shard(0).Postings(sym), flat.Postings(sym); len(got) != len(want) {
+		t.Fatalf("wrap shard sees %d postings of %d, flat %d", len(got), sym, len(want))
+	}
+	// Temporal machinery must see the new ID on BOTH views — before the
+	// fix the wrap's departure slice went stale and this panicked.
+	flat.BuildTemporal()
+	sh.BuildTemporal()
+	if flat.IntervalOverlaps(id, 0, 1e12) != sh.IntervalOverlaps(id, 0, 1e12) {
+		t.Fatal("IntervalOverlaps disagrees for appended id")
+	}
+	lo, hi := sh.Interval(id)
+	flo, fhi := flat.Interval(id)
+	if lo != flo || hi != fhi {
+		t.Fatalf("Interval(%d) = [%g,%g] on wrap, [%g,%g] on flat", id, lo, hi, flo, fhi)
+	}
+	sh.Shard(0).PostingsInWindow(sym, 0, 1e12) // must not panic
+}

@@ -56,6 +56,31 @@ func (p *workerPool) release() {
 	<-p.sem
 }
 
+// tryAcquireN grabs up to n extra slots without blocking and reports how
+// many it got. Queries use the extras as intra-query shard workers, so
+// shard parallelism and cross-query concurrency draw from one budget:
+// under light load a query fans out across shards, under heavy load the
+// extras are unavailable and it degrades to the sequential path instead
+// of oversubscribing the machine.
+func (p *workerPool) tryAcquireN(n int) int {
+	got := 0
+	for ; got < n; got++ {
+		select {
+		case p.sem <- struct{}{}:
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// releaseN frees n slots taken by tryAcquireN.
+func (p *workerPool) releaseN(n int) {
+	for i := 0; i < n; i++ {
+		<-p.sem
+	}
+}
+
 // do runs fn inside a pool slot.
 func (p *workerPool) do(ctx context.Context, fn func()) error {
 	if err := p.acquire(ctx); err != nil {

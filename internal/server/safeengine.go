@@ -108,6 +108,23 @@ func (s *SafeEngine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
 	return s.eng.SearchTopK(q, k)
 }
 
+// SearchTopKP is SearchTopK with an explicit shard-parallelism cap (the
+// server passes the worker-pool slots it reserved for this query).
+func (s *SafeEngine) SearchTopKP(q []traj.Symbol, k, parallelism int) ([]traj.Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.SearchTopKP(q, k, parallelism)
+}
+
+// NumShards returns the engine's index partition count — the ceiling on
+// any single query's parallelism.
+func (s *SafeEngine) NumShards() int { return s.eng.NumShards() }
+
+// EffectiveParallelism resolves a parallelism setting exactly as the
+// engine will (0 = auto; clamped to the shard count). Both are fixed at
+// construction, so no lock is needed.
+func (s *SafeEngine) EffectiveParallelism(p int) int { return s.eng.EffectiveParallelism(p) }
+
 // SearchExact answers the exact path query under the read lock.
 func (s *SafeEngine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
 	s.mu.RLock()

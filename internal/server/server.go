@@ -41,6 +41,14 @@ type Config struct {
 	// alphabet size (vertex or edge count). 0 disables the upper-bound
 	// check — negative symbols are always rejected.
 	MaxSymbol int32
+	// MaxParallelism sets the intra-query shard-worker target per
+	// request (0 = one per CPU; always capped by the engine's shard
+	// count). Shard workers draw from the same worker pool as requests:
+	// a query holds its own pool slot and grabs up to MaxParallelism−1
+	// extra slots non-blockingly, so total engine-side concurrency never
+	// exceeds MaxConcurrent regardless of how requests and shards mix.
+	// 1 forces the sequential path.
+	MaxParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +109,7 @@ type counters struct {
 	candidates, matches                   atomic.Int64
 	minCandNS, lookupNS, verifyNS         atomic.Int64
 	columnsVisited, columnsAvail, stepDPs atomic.Int64
+	shardWorkers, parallelQueries         atomic.Int64
 }
 
 // New builds a Server over eng.
@@ -341,15 +350,32 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		n       int
 		qstats  *core.QueryStats
 		qerr    error
+		usedPar int
 	)
 	perr := s.pool.do(ctx, func() {
+		// The request's own pool slot is one shard worker; borrow up to
+		// parallelism−1 extras from the same pool (non-blocking), so
+		// intra-query shards and cross-query requests share one global
+		// concurrency budget. Exact/count lookups never fan out, so they
+		// must not reserve slots other requests could use.
+		par := 1
+		usesParallelism := req.Kind == "search" || req.Kind == "topk" || req.Kind == "temporal"
+		if want := s.queryParallelism(); usesParallelism && want > 1 {
+			extra := s.pool.tryAcquireN(want - 1)
+			defer s.pool.releaseN(extra)
+			par += extra
+		}
+		if par > 1 {
+			s.stats.parallelQueries.Add(1)
+		}
+		usedPar = par
 		switch req.Kind {
 		case "search":
-			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau})
+			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau, Parallelism: par})
 		case "topk":
-			matches, qerr = s.eng.SearchTopK(req.Q, req.K)
+			matches, qerr = s.eng.SearchTopKP(req.Q, req.K, par)
 		case "temporal":
-			qr := core.Query{Q: req.Q, Tau: tau}
+			qr := core.Query{Q: req.Q, Tau: tau, Parallelism: par}
 			qr.Temporal.Mode = mode
 			qr.Temporal.Lo, qr.Temporal.Hi = req.Lo, req.Hi
 			qr.Temporal.DisablePrefilter = req.NoPrefilter
@@ -372,6 +398,11 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	}
 	s.stats.matches.Add(int64(n))
 	s.recordQueryStats(qstats)
+	if qstats == nil && req.Kind == "topk" {
+		// Top-k returns no QueryStats but its inner searches do fan out;
+		// keep shard_workers consistent with parallel_queries.
+		s.stats.shardWorkers.Add(int64(usedPar))
+	}
 
 	// Tag the entry with the generation read *before* the query ran: if an
 	// Append raced with us the entry is already stale and dies on lookup.
@@ -393,10 +424,18 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	return resp, nil
 }
 
+// queryParallelism returns the shard-worker target for one query — the
+// engine's own resolution of the configured MaxParallelism (0 = auto),
+// so the slots reserved here are exactly the workers the engine uses.
+func (s *Server) queryParallelism() int {
+	return s.eng.EffectiveParallelism(s.cfg.MaxParallelism)
+}
+
 func (s *Server) recordQueryStats(qs *core.QueryStats) {
 	if qs == nil {
 		return
 	}
+	s.stats.shardWorkers.Add(int64(qs.Workers))
 	s.stats.candidates.Add(int64(qs.Candidates))
 	s.stats.minCandNS.Add(qs.MinCandTime.Nanoseconds())
 	s.stats.lookupNS.Add(qs.LookupTime.Nanoseconds())
@@ -522,6 +561,9 @@ type StatsSnapshot struct {
 	Engine        struct {
 		Trajectories int    `json:"trajectories"`
 		Generation   uint64 `json:"generation"`
+		// Shards is the index partition count — the per-query
+		// parallelism ceiling.
+		Shards int `json:"shards"`
 	} `json:"engine"`
 	Requests struct {
 		Search   int64 `json:"search"`
@@ -559,6 +601,12 @@ type StatsSnapshot struct {
 		StepDPCalls      int64   `json:"step_dp_calls"`
 		UPR              float64 `json:"upr"`
 		CMR              float64 `json:"cmr"`
+		// ShardWorkers sums the shard workers used across executed
+		// queries; ParallelQueries counts queries that got more than
+		// one. Together they show how often the shared budget allowed
+		// intra-query fan-out.
+		ShardWorkers    int64 `json:"shard_workers"`
+		ParallelQueries int64 `json:"parallel_queries"`
 	} `json:"totals"`
 }
 
@@ -568,6 +616,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.UptimeSeconds = time.Since(s.stats.start).Seconds()
 	out.Engine.Trajectories = s.eng.NumTrajectories()
 	out.Engine.Generation = s.eng.Generation()
+	out.Engine.Shards = s.eng.NumShards()
 	out.Requests.Search = s.stats.search.Load()
 	out.Requests.TopK = s.stats.topk.Load()
 	out.Requests.Temporal = s.stats.temporal.Load()
@@ -595,6 +644,8 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Totals.ColumnsVisited = s.stats.columnsVisited.Load()
 	out.Totals.ColumnsAvailable = s.stats.columnsAvail.Load()
 	out.Totals.StepDPCalls = s.stats.stepDPs.Load()
+	out.Totals.ShardWorkers = s.stats.shardWorkers.Load()
+	out.Totals.ParallelQueries = s.stats.parallelQueries.Load()
 	if out.Totals.ColumnsAvailable > 0 {
 		out.Totals.UPR = float64(out.Totals.ColumnsVisited) / float64(out.Totals.ColumnsAvailable)
 	}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"subtraj/internal/core"
+	"subtraj/internal/wed"
+	"subtraj/internal/workload"
+)
+
+// newShardedServer builds a server over a 4-shard engine with the given
+// pool size and per-query parallelism target.
+func newShardedServer(t *testing.T, maxConcurrent, maxParallelism int) (*Server, *httptest.Server, *workload.Workload) {
+	t.Helper()
+	w := workload.Generate(workload.Tiny(7))
+	eng := core.NewEngineShards(w.Data, wed.NewLev(), 4)
+	srv := New(NewSafeEngine(eng), Config{
+		CacheSize:      -1, // every request must hit the engine
+		MaxConcurrent:  maxConcurrent,
+		MaxParallelism: maxParallelism,
+		MaxSymbol:      int32(w.Graph.NumVertices()),
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, w
+}
+
+// TestShardedQueryUsesBudget checks that a query on an idle server fans
+// out across shard workers borrowed from the pool, and that /v1/stats
+// reports the pipeline shape.
+func TestShardedQueryUsesBudget(t *testing.T) {
+	srv, ts, w := newShardedServer(t, 8, 3)
+	q := sampleQuery(t, w.Data, 6, 3)
+
+	resp, _ := post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.3})
+	if resp.StatusCode != 200 {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &snap)
+	if snap.Engine.Shards != 4 {
+		t.Fatalf("stats report %d shards, want 4", snap.Engine.Shards)
+	}
+	// Idle pool of 8 with a target of 3: the query's own slot plus two
+	// borrowed extras.
+	if snap.Totals.ShardWorkers != 3 {
+		t.Fatalf("shard workers = %d, want 3", snap.Totals.ShardWorkers)
+	}
+	if snap.Totals.ParallelQueries != 1 {
+		t.Fatalf("parallel queries = %d, want 1", snap.Totals.ParallelQueries)
+	}
+	if srv.queryParallelism() != 3 {
+		t.Fatalf("queryParallelism = %d, want 3", srv.queryParallelism())
+	}
+}
+
+// TestShardedQueryDegradesUnderLoad checks the shared-budget contract:
+// with a single pool slot there are no extras to borrow, so the query
+// runs the sequential path instead of oversubscribing.
+func TestShardedQueryDegradesUnderLoad(t *testing.T) {
+	_, ts, w := newShardedServer(t, 1, 4)
+	q := sampleQuery(t, w.Data, 6, 3)
+
+	resp, _ := post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.3})
+	if resp.StatusCode != 200 {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &snap)
+	if snap.Totals.ShardWorkers != 1 {
+		t.Fatalf("shard workers = %d, want 1 (pool has a single slot)", snap.Totals.ShardWorkers)
+	}
+	if snap.Totals.ParallelQueries != 0 {
+		t.Fatalf("parallel queries = %d, want 0", snap.Totals.ParallelQueries)
+	}
+	if snap.Pool.InFlight != 0 {
+		t.Fatalf("pool did not drain: %d in flight", snap.Pool.InFlight)
+	}
+}
+
+// TestShardedServerResultsMatchSequential compares the HTTP answer of a
+// parallel sharded server against a sequential one.
+func TestShardedServerResultsMatchSequential(t *testing.T) {
+	_, par, w := newShardedServer(t, 8, 4)
+	_, seq, _ := newShardedServer(t, 8, 1)
+	for seed := int64(1); seed <= 3; seed++ {
+		q := sampleQuery(t, w.Data, 6, seed)
+		body := map[string]any{"q": q, "tau_ratio": 0.3}
+		_, gotP := post(t, par.URL+"/v1/search", body)
+		_, gotS := post(t, seq.URL+"/v1/search", body)
+		if string(gotP["matches"]) != string(gotS["matches"]) || string(gotP["count"]) != string(gotS["count"]) {
+			t.Fatalf("seed %d: parallel answer %s (count %s) != sequential %s (count %s)",
+				seed, gotP["matches"], gotP["count"], gotS["matches"], gotS["count"])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in; tests
+// with allocation or timing budgets skip under it, since instrumentation
+// changes both.
+const RaceEnabled = true

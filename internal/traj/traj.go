@@ -7,6 +7,7 @@ package traj
 
 import (
 	"fmt"
+	"sort"
 
 	"subtraj/internal/roadnet"
 )
@@ -172,6 +173,23 @@ type Match struct {
 
 // Key returns a comparable dedup key.
 func (m Match) Key() MatchKey { return MatchKey{m.ID, m.S, m.T} }
+
+// SortMatches orders matches by (ID, S, T) — the canonical result order
+// every search path returns. (ID, S, T) is unique within one result set,
+// so the order is total and deterministic; the sharded query pipeline
+// depends on this to make its merge independent of shard scheduling.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.T < b.T
+	})
+}
 
 // MatchKey identifies a match position without its distance.
 type MatchKey struct {

@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"subtraj/internal/testutil"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+)
+
+// runOnce verifies every position of every trajectory against q (every
+// (id, j) as a candidate with iq cycling over q), returning the results.
+func runOnce(v *Verifier, ds *traj.Dataset, q []traj.Symbol) []traj.Match {
+	for id := range ds.Trajs {
+		for j := range ds.Trajs[id].Path {
+			v.Verify(Candidate{ID: int32(id), Pos: int32(j), IQ: int32(j % len(q))})
+		}
+	}
+	return v.Results()
+}
+
+// TestVerifierResetReusesCleanly runs the same query through a fresh
+// verifier and through one recycled across unrelated queries; the pooled
+// run must be indistinguishable, including stats.
+func TestVerifierResetReusesCleanly(t *testing.T) {
+	env := testutil.NewEnv(31, 20, 16)
+	for _, m := range env.Models()[:3] {
+		q1 := env.Query(m, 6)
+		q2 := env.Query(m, 9)
+		tau := wed.SumIns(m.Costs, q1) * 0.4
+
+		for _, mode := range []Mode{ModeBT, ModeLocal, ModeSW} {
+			opts := Options{Mode: mode}
+			fresh := New(m.Costs, m.DS, q1, tau, opts)
+			want := runOnce(fresh, m.DS, q1)
+			wantStats := fresh.Stats
+
+			// Pollute a verifier with a different query, then Reset into
+			// the query under test.
+			v := New(m.Costs, m.DS, q2, wed.SumIns(m.Costs, q2)*0.5, opts)
+			runOnce(v, m.DS, q2)
+			v.Reset(m.Costs, m.DS, q1, tau, opts)
+			got := runOnce(v, m.DS, q1)
+
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: reused verifier returned %d matches, fresh %d", m.Name, mode, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: match %d = %+v, want %+v", m.Name, mode, i, got[i], want[i])
+				}
+			}
+			if v.Stats != wantStats {
+				t.Fatalf("%s/%s: reused stats %+v != fresh %+v", m.Name, mode, v.Stats, wantStats)
+			}
+		}
+	}
+}
+
+// TestVerifierPoolRoundTrip exercises Get/Put across queries.
+func TestVerifierPoolRoundTrip(t *testing.T) {
+	env := testutil.NewEnv(32, 20, 16)
+	m := env.Models()[0]
+	q := env.Query(m, 6)
+	tau := wed.SumIns(m.Costs, q) * 0.4
+	want := runOnce(New(m.Costs, m.DS, q, tau, Options{}), m.DS, q)
+	for i := 0; i < 5; i++ {
+		v := Get(m.Costs, m.DS, q, tau, Options{})
+		got := runOnce(v, m.DS, q)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d matches, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("round %d: match %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+		Put(v)
+	}
+}

@@ -35,15 +35,22 @@ const nilNode = int32(-1)
 // newTrie builds a trie whose root column is wed(ε, Q^d[1..j]) — the
 // insertion prefix sums.
 func newTrie(costs wed.Costs, qd []traj.Symbol) *trie {
-	t := &trie{qd: qd, qdLen: len(qd)}
-	col := make([]float64, len(qd)+1)
-	for j, s := range qd {
-		col[j+1] = col[j] + costs.Ins(s)
-	}
-	t.nodes = append(t.nodes, trieNode{sym: -1, col: 0, firstChild: nilNode, nextSibling: nilNode})
-	t.cols = append(t.cols, col...)
-	t.colMin = append(t.colMin, 0) // root minimum is col[0] = 0
+	t := &trie{}
+	t.reset(costs, qd)
 	return t
+}
+
+// reset re-initialises the trie for a new Q^d, truncating the node and
+// column arenas in place so their capacity is reused across queries (the
+// pooling the resettable Verifier relies on).
+func (t *trie) reset(costs wed.Costs, qd []traj.Symbol) {
+	t.qd, t.qdLen = qd, len(qd)
+	t.nodes = append(t.nodes[:0], trieNode{sym: -1, col: 0, firstChild: nilNode, nextSibling: nilNode})
+	t.cols = append(t.cols[:0], 0)
+	for j, s := range qd {
+		t.cols = append(t.cols, t.cols[j]+costs.Ins(s))
+	}
+	t.colMin = append(t.colMin[:0], 0) // root minimum is col[0] = 0
 }
 
 // child returns the child of node ni labelled sym, creating (and computing

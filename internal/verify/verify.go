@@ -12,7 +12,7 @@
 package verify
 
 import (
-	"sort"
+	"sync"
 
 	"subtraj/internal/traj"
 	"subtraj/internal/wed"
@@ -74,6 +74,18 @@ type Stats struct {
 	Matches int
 }
 
+// Add accumulates o's counters into s — the shard-merge of the parallel
+// query pipeline. Keeping it next to the struct means a future counter
+// cannot be summed on one path and dropped on the other.
+func (s *Stats) Add(o Stats) {
+	s.Candidates += o.Candidates
+	s.ColumnsAvailable += o.ColumnsAvailable
+	s.ColumnsVisited += o.ColumnsVisited
+	s.StepDPCalls += o.StepDPCalls
+	s.TrieNodes += o.TrieNodes
+	s.Matches += o.Matches
+}
+
 // UPR returns the unpruned position rate (§6.4).
 func (s Stats) UPR() float64 { return ratio(s.ColumnsVisited, s.ColumnsAvailable) }
 
@@ -98,8 +110,11 @@ type Candidate struct {
 	IQ  int32
 }
 
-// Verifier verifies the candidates of one query. It is single-use: create
-// per query, feed candidates, then call Results.
+// Verifier verifies the candidates of one query: create (or Get from the
+// package pool) per query, feed candidates, then call Results. Reset makes
+// it reusable across queries with its scratch state — DP column arenas,
+// trie nodes, result maps — retained, so a steady-state query stream
+// allocates near-zero in the verify phase.
 type Verifier struct {
 	costs wed.Costs
 	ds    *traj.Dataset
@@ -107,9 +122,19 @@ type Verifier struct {
 	tau   float64
 	opts  Options
 
+	// qrev is q reversed, computed once per Reset: the backward trie of
+	// position iq runs over reversed(q[:iq]) == qrev[len(q)-iq:], so no
+	// per-trie reversal allocation is needed.
+	qrev []traj.Symbol
+
 	// Per-iq bidirectional tries (lazily created: only candidate iqs
 	// get tries, which matches Algorithm 3's "for (q, iq) ∈ Q'").
-	tries map[int32]*dirTries
+	tries map[int32]dirTries
+
+	// trieFree holds retired tries whose arenas are reused by the next
+	// trie this verifier needs (ModeLocal retires a pair per candidate,
+	// Reset retires every trie of the previous query).
+	trieFree []*trie
 
 	// results maps a match to its exact WED: by Lemma 1 the minimum of
 	// the three-way decomposition over all candidates covering a match
@@ -131,16 +156,66 @@ type dirTries struct {
 
 // New creates a verifier for query q under threshold tau.
 func New(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) *Verifier {
-	return &Verifier{
-		costs:   costs,
-		ds:      ds,
-		q:       q,
-		tau:     tau,
-		opts:    opts,
-		tries:   make(map[int32]*dirTries),
-		results: make(map[traj.MatchKey]float64),
-		swSeen:  make(map[int32]bool),
+	v := &Verifier{}
+	v.Reset(costs, ds, q, tau, opts)
+	return v
+}
+
+// pool recycles verifiers across queries; Get/Put are the entry points.
+var pool = sync.Pool{New: func() any { return new(Verifier) }}
+
+// Get returns a pooled verifier reset for the given query. Pair with Put
+// once Results has been read; the verifier must not be used after Put.
+func Get(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) *Verifier {
+	v := pool.Get().(*Verifier)
+	v.Reset(costs, ds, q, tau, opts)
+	return v
+}
+
+// Put returns v to the package pool. It drops every reference into the
+// finished query — dataset, cost model, and the query slices the trie Q^d
+// views alias — so pooling never extends their lifetime, while keeping
+// the scratch arenas for the next Get.
+func Put(v *Verifier) {
+	v.costs, v.ds, v.q = nil, nil, nil
+	for iq, tr := range v.tries {
+		v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
+		delete(v.tries, iq)
 	}
+	for _, t := range v.trieFree {
+		t.qd = nil // aliases the caller's query; reset re-points it
+	}
+	pool.Put(v)
+}
+
+// Reset prepares v for a new query, retaining allocated scratch state:
+// trie arenas move to the free list, maps are cleared in place, and the
+// DP scratch buffers keep their capacity.
+func (v *Verifier) Reset(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) {
+	v.costs, v.ds, v.q, v.tau, v.opts = costs, ds, q, tau, opts
+	v.qrev = append(v.qrev[:0], q...)
+	for i, j := 0, len(v.qrev)-1; i < j; i, j = i+1, j-1 {
+		v.qrev[i], v.qrev[j] = v.qrev[j], v.qrev[i]
+	}
+	if v.tries == nil {
+		v.tries = make(map[int32]dirTries)
+	} else {
+		for iq, tr := range v.tries {
+			v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
+			delete(v.tries, iq)
+		}
+	}
+	if v.results == nil {
+		v.results = make(map[traj.MatchKey]float64)
+	} else {
+		clear(v.results)
+	}
+	if v.swSeen == nil {
+		v.swSeen = make(map[int32]bool)
+	} else {
+		clear(v.swSeen)
+	}
+	v.Stats = Stats{}
 }
 
 // Verify processes one candidate (Algorithm 4).
@@ -161,11 +236,12 @@ func (v *Verifier) Verify(c Candidate) {
 		return // even a perfect surrounding alignment cannot reach < τ
 	}
 
-	var tr *dirTries
+	var tr dirTries
 	if v.opts.Mode == ModeBT {
 		tr = v.trieFor(c.IQ)
 	} else {
 		tr = v.freshTries(c.IQ) // no sharing across candidates
+		defer v.retireTries(tr) // ...so the arenas recycle per candidate
 	}
 
 	// E^b over the reversed prefix P[j-1], ..., P[0] vs reversed Q[:iq];
@@ -229,7 +305,7 @@ func (v *Verifier) allPrefixWED(t *trie, p []traj.Symbol, j, dir int, tauPrime f
 }
 
 // trieFor returns (building on first use) the bidirectional tries of iq.
-func (v *Verifier) trieFor(iq int32) *dirTries {
+func (v *Verifier) trieFor(iq int32) dirTries {
 	if tr, ok := v.tries[iq]; ok {
 		return tr
 	}
@@ -238,21 +314,28 @@ func (v *Verifier) trieFor(iq int32) *dirTries {
 	return tr
 }
 
-func (v *Verifier) freshTries(iq int32) *dirTries {
+func (v *Verifier) freshTries(iq int32) dirTries {
 	qf := v.q[iq+1:]
-	qb := reversed(v.q[:iq])
-	return &dirTries{
-		fwd: newTrie(v.costs, qf),
-		bwd: newTrie(v.costs, qb),
+	qb := v.qrev[len(v.q)-int(iq):] // reversed(q[:iq]), pre-materialised by Reset
+	return dirTries{
+		fwd: v.takeTrie(qf),
+		bwd: v.takeTrie(qb),
 	}
 }
 
-func reversed(q []traj.Symbol) []traj.Symbol {
-	out := make([]traj.Symbol, len(q))
-	for i, s := range q {
-		out[len(q)-1-i] = s
+// takeTrie recycles a retired trie's arenas when available.
+func (v *Verifier) takeTrie(qd []traj.Symbol) *trie {
+	if n := len(v.trieFree); n > 0 {
+		t := v.trieFree[n-1]
+		v.trieFree = v.trieFree[:n-1]
+		t.reset(v.costs, qd)
+		return t
 	}
-	return out
+	return newTrie(v.costs, qd)
+}
+
+func (v *Verifier) retireTries(tr dirTries) {
+	v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
 }
 
 // verifySW scans the whole trajectory once per distinct ID, enumerating
@@ -272,7 +355,11 @@ func (v *Verifier) verifySW(id int32) {
 	}
 }
 
-// Results returns the deduplicated matches sorted by (ID, S, T).
+// Results returns the deduplicated matches sorted by (ID, S, T). The sort
+// is load-bearing, not cosmetic: results accumulate in a map, so without
+// it the order would differ run to run, and the shard-merge of the
+// parallel pipeline relies on every per-shard result list arriving in
+// this canonical order (see traj.SortMatches).
 func (v *Verifier) Results() []traj.Match {
 	for _, tr := range v.tries {
 		v.Stats.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
@@ -281,16 +368,7 @@ func (v *Verifier) Results() []traj.Match {
 	for k, d := range v.results {
 		out = append(out, traj.Match{ID: k.ID, S: k.S, T: k.T, WED: d})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.ID != b.ID {
-			return a.ID < b.ID
-		}
-		if a.S != b.S {
-			return a.S < b.S
-		}
-		return a.T < b.T
-	})
+	traj.SortMatches(out)
 	v.Stats.Matches = len(out)
 	return out
 }
