@@ -5,13 +5,15 @@
 // Usage:
 //
 //	benchall [-scale 0.3] [-queries 5] [-qlen 60] [-only fig6,tab4] [-quick]
-//	benchall -json [-scale 0.3] [-qlen 60]
+//	benchall -json [-scale 0.3] [-qlen 60] [-quick]
 //
 // -scale multiplies every dataset's trajectory count (1.0 ≈ tens of
 // thousands of trajectories; the default keeps a full run in minutes).
 // -json skips the table suite and instead snapshots the sharded
 // parallel-search sweep into BENCH_<rev>.json (see perfsnap.go), the
-// machine-readable perf trajectory of the query engine.
+// machine-readable perf trajectory of the query engine; -json -quick is
+// the CI smoke variant (one iteration per configuration, written to
+// BENCH_quick.json, no stable timings).
 package main
 
 import (
@@ -38,7 +40,7 @@ func main() {
 	flag.Parse()
 
 	if *jsonOut {
-		if err := writePerfSnapshot(*scale, *qlen, 0.1); err != nil {
+		if err := writePerfSnapshot(*scale, *qlen, 0.1, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 			os.Exit(1)
 		}

@@ -22,6 +22,11 @@ import (
 // record the hardware (NumCPU/GOMAXPROCS) because shard speedups are
 // hardware-bound: on a single-CPU machine every shard count collapses to
 // ~1× by construction.
+//
+// With -quick the sweep degrades to a one-iteration smoke run (each
+// configuration executes a single query, timed once): no stable numbers,
+// but CI proves the snapshot pipeline itself — workload build, query
+// sampling, stats collection, JSON schema — cannot silently rot.
 
 type perfSnapshot struct {
 	Rev        string      `json:"rev"`
@@ -29,6 +34,7 @@ type perfSnapshot struct {
 	GoVersion  string      `json:"go"`
 	NumCPU     int         `json:"num_cpu"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	Quick      bool        `json:"quick,omitempty"`
 	Workload   perfWork    `json:"workload"`
 	Benchmarks []perfBench `json:"benchmarks"`
 }
@@ -42,12 +48,21 @@ type perfWork struct {
 }
 
 type perfBench struct {
-	Name        string  `json:"name"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// AllocsPerOp/BytesPerOp are omitted in -quick snapshots (a single
+	// timed iteration measures no allocation statistics).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 	// SpeedupVsSequential is ns/op(shards=1) ÷ ns/op(this run).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// CellsComputed/CellsAvailable are the per-op cell counters of the
+	// τ-banded verification (averaged over the benchmark's iterations);
+	// BandRatio is their quotient — the fraction of DP-cell work the
+	// band retains versus full-width columns.
+	CellsComputed  int64   `json:"cells_computed"`
+	CellsAvailable int64   `json:"cells_available"`
+	BandRatio      float64 `json:"band_ratio"`
 }
 
 // perfShardCounts is the sweep of BenchmarkParallelSearch.
@@ -55,8 +70,11 @@ var perfShardCounts = []int{1, 2, 4, 8}
 
 // writePerfSnapshot runs the sweep on the largest synthetic workload and
 // writes BENCH_<rev>.json in the current directory.
-func writePerfSnapshot(scale float64, qlen int, tauRatio float64) error {
+func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) error {
 	const model = "EDR"
+	if quick {
+		scale = min(scale, 0.05)
+	}
 	c := experiments.GetCtx(workload.SanFranLike(), scale)
 	costs := c.Model(model)
 	queries := c.Queries(model, qlen, 8, 5)
@@ -67,6 +85,7 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64) error {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
 		Workload: perfWork{
 			Name:         c.Cfg.Name,
 			Trajectories: c.W.Data.Len(),
@@ -80,34 +99,71 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64) error {
 	for _, shards := range perfShardCounts {
 		fmt.Fprintf(os.Stderr, "[benchall] ParallelSearch/shards=%d...\n", shards)
 		eng := core.NewEngineShards(c.Data(model), costs, shards)
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				q := queries[i%len(queries)]
-				tau := c.Tau(model, q, tauRatio)
-				if _, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: shards}); err != nil {
-					b.Fatal(err)
+		runOne := func(i int) (*core.QueryStats, error) {
+			q := queries[i%len(queries)]
+			tau := c.Tau(model, q, tauRatio)
+			_, st, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: shards})
+			return st, err
+		}
+		var bench perfBench
+		bench.Name = fmt.Sprintf("ParallelSearch/shards=%d", shards)
+		var cellsC, cellsA int64
+		var ops int64
+		if quick {
+			// One-iteration sanity: a single timed query, no stable
+			// statistics — exists so CI exercises this exact code path.
+			start := time.Now()
+			st, err := runOne(0)
+			if err != nil {
+				return err
+			}
+			bench.NsPerOp = time.Since(start).Nanoseconds()
+			cellsC, cellsA, ops = st.Verify.CellsComputed, st.Verify.CellsAvailable, 1
+		} else {
+			// Warm the pools (verifier, trie arenas, candidate buffers)
+			// before measuring, like TestPooledSearchAllocs: the snapshot
+			// tracks steady-state per-op cost, not one-time pool growth.
+			for i := 0; i < 2*len(queries); i++ {
+				if _, err := runOne(i); err != nil {
+					return err
 				}
 			}
-		})
-		ns := r.NsPerOp()
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				cellsC, cellsA, ops = 0, 0, int64(b.N)
+				for i := 0; i < b.N; i++ {
+					st, err := runOne(i)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cellsC += st.Verify.CellsComputed
+					cellsA += st.Verify.CellsAvailable
+				}
+			})
+			bench.NsPerOp = r.NsPerOp()
+			bench.AllocsPerOp = r.AllocsPerOp()
+			bench.BytesPerOp = r.AllocedBytesPerOp()
+		}
 		if shards == 1 {
-			seqNs = ns
+			seqNs = bench.NsPerOp
 		}
-		speedup := 0.0
-		if ns > 0 && seqNs > 0 {
-			speedup = float64(seqNs) / float64(ns)
+		if bench.NsPerOp > 0 && seqNs > 0 {
+			bench.SpeedupVsSequential = float64(seqNs) / float64(bench.NsPerOp)
 		}
-		snap.Benchmarks = append(snap.Benchmarks, perfBench{
-			Name:                fmt.Sprintf("ParallelSearch/shards=%d", shards),
-			NsPerOp:             ns,
-			AllocsPerOp:         r.AllocsPerOp(),
-			BytesPerOp:          r.AllocedBytesPerOp(),
-			SpeedupVsSequential: speedup,
-		})
+		if ops > 0 {
+			bench.CellsComputed = cellsC / ops
+			bench.CellsAvailable = cellsA / ops
+		}
+		if cellsA > 0 {
+			bench.BandRatio = float64(cellsC) / float64(cellsA)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, bench)
 	}
 
 	path := "BENCH_" + snap.Rev + ".json"
+	if quick {
+		path = "BENCH_quick.json"
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

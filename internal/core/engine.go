@@ -128,10 +128,14 @@ type QueryStats struct {
 	CSum float64
 	// Candidates is |C|, the verified candidate count (Figure 11).
 	Candidates int
-	// Verify carries UPR/CMR/TUR counters (Table 5). StepDPCalls and
-	// TrieNodes may exceed the sequential run's at Parallelism > 1: each
-	// shard worker has its own trie cache, so columns shared across
-	// shards are recomputed per shard. Matches/Candidates never differ.
+	// Verify carries UPR/CMR/TUR counters (Table 5) plus the cell-level
+	// band counters (CellsComputed/CellsAvailable) of the τ-banded
+	// verification. StepDPCalls, TrieNodes, and the cell counters may
+	// exceed the sequential run's at Parallelism > 1: each shard worker
+	// has its own trie cache, so columns shared across shards are
+	// recomputed per shard. Matches/Candidates never differ, and the
+	// CellsComputed/CellsAvailable ratio stays representative at every
+	// shard count.
 	Verify verify.Stats
 	// Shards is the number of index partitions this query scanned;
 	// Workers is the number of shard workers that processed them

@@ -65,7 +65,10 @@ func (e *Engine) shardCandidates(qr *Query, plan *filter.Plan, src index.Posting
 
 // runSequential is the Parallelism == 1 path: one candidate slice over
 // all shards, one pooled verifier whose tries are shared across every
-// candidate — exactly the pre-sharding engine behavior.
+// candidate — exactly the pre-sharding engine behavior. Candidates are
+// grouped by trajectory like the sharded path: the verifier accumulates
+// matches per trajectory (one flush per ID) and reads each path once, and
+// the grouping is a stable sort that changes no result.
 func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) []traj.Match {
 	start := time.Now()
 	buf := getCandBuf()
@@ -73,6 +76,7 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 	for s := 0; s < e.sidx.NumShards(); s++ {
 		cands = e.shardCandidates(qr, plan, e.sidx.Shard(s), cands)
 	}
+	filter.GroupByTrajectory(cands)
 	stats.LookupTime = time.Since(start)
 	stats.Candidates = len(cands)
 

@@ -6,9 +6,10 @@
 package filter
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"subtraj/internal/index"
 	"subtraj/internal/traj"
@@ -218,9 +219,11 @@ func (p *Plan) CandidatesByDeparture(src index.PostingSource, lo, hi float64, ds
 
 // GroupByTrajectory stably sorts candidates by trajectory ID, so a
 // verifier visits each trajectory's candidates consecutively (one Path
-// lookup per trajectory instead of per candidate). The per-trajectory
-// candidate order — and therefore every verification result — is
-// unchanged; the shard pipeline applies this to each shard's stream.
+// lookup per trajectory, one match-accumulation flush per trajectory).
+// The per-trajectory candidate order — and therefore every verification
+// result — is unchanged; both the sequential and the per-shard pipelines
+// apply this to their candidate streams. slices.SortStableFunc avoids
+// sort.SliceStable's reflection and per-call allocations.
 func GroupByTrajectory(cands []Candidate) {
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	slices.SortStableFunc(cands, func(a, b Candidate) int { return cmp.Compare(a.ID, b.ID) })
 }

@@ -109,6 +109,7 @@ type counters struct {
 	candidates, matches                   atomic.Int64
 	minCandNS, lookupNS, verifyNS         atomic.Int64
 	columnsVisited, columnsAvail, stepDPs atomic.Int64
+	cellsComputed, cellsAvail             atomic.Int64
 	shardWorkers, parallelQueries         atomic.Int64
 }
 
@@ -443,6 +444,8 @@ func (s *Server) recordQueryStats(qs *core.QueryStats) {
 	s.stats.columnsVisited.Add(qs.Verify.ColumnsVisited)
 	s.stats.columnsAvail.Add(qs.Verify.ColumnsAvailable)
 	s.stats.stepDPs.Add(qs.Verify.StepDPCalls)
+	s.stats.cellsComputed.Add(qs.Verify.CellsComputed)
+	s.stats.cellsAvail.Add(qs.Verify.CellsAvailable)
 }
 
 // --- validation and error mapping ---------------------------------------
@@ -599,8 +602,14 @@ type StatsSnapshot struct {
 		ColumnsVisited   int64   `json:"columns_visited"`
 		ColumnsAvailable int64   `json:"columns_available"`
 		StepDPCalls      int64   `json:"step_dp_calls"`
-		UPR              float64 `json:"upr"`
-		CMR              float64 `json:"cmr"`
+		// CellsComputed/CellsAvailable are the cell-level band counters
+		// of the τ-banded verification; BandRatio is their quotient (the
+		// fraction of DP cells the banded columns actually evaluated).
+		CellsComputed  int64   `json:"cells_computed"`
+		CellsAvailable int64   `json:"cells_available"`
+		UPR            float64 `json:"upr"`
+		CMR            float64 `json:"cmr"`
+		BandRatio      float64 `json:"band_ratio"`
 		// ShardWorkers sums the shard workers used across executed
 		// queries; ParallelQueries counts queries that got more than
 		// one. Together they show how often the shared budget allowed
@@ -644,6 +653,8 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Totals.ColumnsVisited = s.stats.columnsVisited.Load()
 	out.Totals.ColumnsAvailable = s.stats.columnsAvail.Load()
 	out.Totals.StepDPCalls = s.stats.stepDPs.Load()
+	out.Totals.CellsComputed = s.stats.cellsComputed.Load()
+	out.Totals.CellsAvailable = s.stats.cellsAvail.Load()
 	out.Totals.ShardWorkers = s.stats.shardWorkers.Load()
 	out.Totals.ParallelQueries = s.stats.parallelQueries.Load()
 	if out.Totals.ColumnsAvailable > 0 {
@@ -651,6 +662,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if out.Totals.ColumnsVisited > 0 {
 		out.Totals.CMR = float64(out.Totals.StepDPCalls) / float64(out.Totals.ColumnsVisited)
+	}
+	if out.Totals.CellsAvailable > 0 {
+		out.Totals.BandRatio = float64(out.Totals.CellsComputed) / float64(out.Totals.CellsAvailable)
 	}
 	return out
 }

@@ -201,6 +201,17 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	if st.Engine.Generation != 1 {
 		t.Errorf("engine generation = %d, want 1", st.Engine.Generation)
 	}
+	// The τ-banded verification counters flow through to /v1/stats.
+	if st.Totals.StepDPCalls > 0 {
+		if st.Totals.CellsAvailable <= 0 || st.Totals.CellsComputed <= 0 ||
+			st.Totals.CellsComputed > st.Totals.CellsAvailable {
+			t.Errorf("band cell counters inconsistent: computed=%d available=%d",
+				st.Totals.CellsComputed, st.Totals.CellsAvailable)
+		}
+		if st.Totals.BandRatio <= 0 || st.Totals.BandRatio > 1 {
+			t.Errorf("band ratio out of range: %v", st.Totals.BandRatio)
+		}
+	}
 }
 
 func TestBatch(t *testing.T) {

@@ -6,8 +6,9 @@
 package traj
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"subtraj/internal/roadnet"
 )
@@ -178,16 +179,20 @@ func (m Match) Key() MatchKey { return MatchKey{m.ID, m.S, m.T} }
 // every search path returns. (ID, S, T) is unique within one result set,
 // so the order is total and deterministic; the sharded query pipeline
 // depends on this to make its merge independent of shard scheduling.
+// (The verifier also sorts pre-merge buffers that may hold duplicate
+// keys; those are min-merged right after, so the unstable sort still
+// yields a deterministic result.) slices.SortFunc rather than
+// sort.Slice: the generic sort needs no reflection and no per-call
+// allocation, and this runs once per trajectory in the verify hot path.
 func SortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
-		if a.ID != b.ID {
-			return a.ID < b.ID
+	slices.SortFunc(ms, func(a, b Match) int {
+		if c := cmp.Compare(a.ID, b.ID); c != 0 {
+			return c
 		}
-		if a.S != b.S {
-			return a.S < b.S
+		if c := cmp.Compare(a.S, b.S); c != 0 {
+			return c
 		}
-		return a.T < b.T
+		return cmp.Compare(a.T, b.T)
 	})
 }
 

@@ -1,31 +1,51 @@
 package verify
 
 import (
+	"math"
+	"unsafe"
+
 	"subtraj/internal/traj"
 	"subtraj/internal/wed"
 )
 
 // trie caches DP columns for one direction of one τ-subsequence position
 // (§5.2). Each node corresponds to a path prefix P^d[1..k]; its cached
-// column A holds wed(P^d[1..k], Q^d[1..j]) for j = 0..|Q^d|. Children are a
+// column holds wed(P^d[1..k], Q^d[1..j]) for j = 0..|Q^d|. Children are a
 // first-child/next-sibling list — road-network branching is tiny
 // ("typically, three"), so linear sibling scans beat maps; nodes and
 // columns live in flat arenas to avoid per-node allocations.
+//
+// Columns are stored τ-banded: only the cells of the active band
+// [lo, hi) — the smallest interval containing every cell < bandTau — are
+// materialised; everything outside is semantically +Inf. Cells < bandTau
+// hold the exact full-width DP value (see wed.StepDPBanded), so every
+// quantity the verifier reads through tail/min — all compared against
+// thresholds τ′ ≤ bandTau — is indistinguishable from the full-width
+// trie, while StepDP work and arena bytes shrink by the band ratio.
+// bandTau = +Inf stores full columns (the Options.DisableBanding
+// ablation).
 type trie struct {
-	qd    []traj.Symbol
-	qdLen int
-	nodes []trieNode
-	// cols is the column arena: node i's column occupies
-	// cols[nodes[i].col : nodes[i].col+qdLen+1].
+	qd      []traj.Symbol
+	qdLen   int
+	bandTau float64
+	nodes   []trieNode
+	// cols is the column arena: node i's band occupies
+	// cols[nodes[i].col : nodes[i].col + (hi-lo)].
 	cols []float64
 	// colMin[i] is the minimum of node i's column — the early-
-	// termination lower bound LB of Eq. 11.
+	// termination lower bound LB of Eq. 11 (+Inf for an empty band).
 	colMin []float64
+	// step is the full-width scratch column StepDPBanded writes into
+	// before the band is copied onto the arena.
+	step []float64
 }
 
 type trieNode struct {
-	sym         traj.Symbol
-	col         int32 // offset into cols
+	sym traj.Symbol
+	col int32 // offset into cols
+	// [lo, hi) is the band in column-index space (0..qdLen+1); lo == hi
+	// encodes an all-≥-τ column with no stored cells.
+	lo, hi      int32
 	firstChild  int32 // node index, -1 if leaf
 	nextSibling int32 // node index, -1 at end of sibling list
 }
@@ -33,49 +53,73 @@ type trieNode struct {
 const nilNode = int32(-1)
 
 // newTrie builds a trie whose root column is wed(ε, Q^d[1..j]) — the
-// insertion prefix sums.
-func newTrie(costs wed.Costs, qd []traj.Symbol) *trie {
+// insertion prefix sums, banded to the cells < bandTau.
+func newTrie(costs wed.Costs, qd []traj.Symbol, bandTau float64) *trie {
 	t := &trie{}
-	t.reset(costs, qd)
+	t.reset(costs, qd, bandTau)
 	return t
 }
 
 // reset re-initialises the trie for a new Q^d, truncating the node and
 // column arenas in place so their capacity is reused across queries (the
 // pooling the resettable Verifier relies on).
-func (t *trie) reset(costs wed.Costs, qd []traj.Symbol) {
-	t.qd, t.qdLen = qd, len(qd)
-	t.nodes = append(t.nodes[:0], trieNode{sym: -1, col: 0, firstChild: nilNode, nextSibling: nilNode})
-	t.cols = append(t.cols[:0], 0)
-	for j, s := range qd {
-		t.cols = append(t.cols, t.cols[j]+costs.Ins(s))
+func (t *trie) reset(costs wed.Costs, qd []traj.Symbol, bandTau float64) {
+	t.qd, t.qdLen, t.bandTau = qd, len(qd), bandTau
+	// Root band: the prefix sums are nondecreasing (ins ≥ 0), so the
+	// band is [0, hi) up to the first prefix ≥ τ.
+	t.cols = t.cols[:0]
+	sum := 0.0
+	hi := 0
+	for j := 0; j <= t.qdLen && sum < bandTau; j++ {
+		t.cols = append(t.cols, sum)
+		hi = j + 1
+		if j < t.qdLen {
+			sum += costs.Ins(qd[j])
+		}
 	}
-	t.colMin = append(t.colMin[:0], 0) // root minimum is col[0] = 0
+	rootMin := math.Inf(1)
+	if hi > 0 {
+		rootMin = t.cols[0] // nondecreasing: the minimum is cell 0
+	}
+	t.nodes = append(t.nodes[:0], trieNode{sym: -1, col: 0, lo: 0, hi: int32(hi), firstChild: nilNode, nextSibling: nilNode})
+	t.colMin = append(t.colMin[:0], rootMin)
+	if cap(t.step) < t.qdLen+1 {
+		t.step = make([]float64, t.qdLen+1)
+	} else {
+		t.step = t.step[:t.qdLen+1]
+	}
 }
 
 // child returns the child of node ni labelled sym, creating (and computing
-// its DP column via StepDP, Algorithm 6) if absent. computed reports
-// whether a StepDP call happened — a cache miss in the paper's CMR metric.
-func (t *trie) child(ni int32, sym traj.Symbol, costs wed.Costs) (ci int32, computed bool) {
+// its banded DP column via StepDPBanded, Algorithm 6) if absent. computed
+// reports whether a StepDP call happened — a cache miss in the paper's CMR
+// metric; st accumulates the cell-level band counters.
+func (t *trie) child(ni int32, sym traj.Symbol, costs wed.Costs, st *Stats) (ci int32, computed bool) {
 	for c := t.nodes[ni].firstChild; c != nilNode; c = t.nodes[c].nextSibling {
 		if t.nodes[c].sym == sym {
 			return c, false
 		}
 	}
-	// Cache miss: allocate the node and compute its column from the
-	// parent's.
-	parentCol := t.cols[t.nodes[ni].col : t.nodes[ni].col+int32(t.qdLen)+1]
+	// Cache miss: derive the child band from the parent's and append the
+	// banded column to the arena.
+	pn := t.nodes[ni]
+	parent := t.cols[pn.col : pn.col+(pn.hi-pn.lo)]
+	lo, hi, cells := wed.StepDPBanded(costs, t.qd, sym, parent, int(pn.lo), int(pn.hi), t.bandTau, t.step)
+	st.CellsComputed += int64(cells)
+	st.CellsAvailable += int64(t.qdLen + 1)
 	off := int32(len(t.cols))
-	t.cols = append(t.cols, make([]float64, t.qdLen+1)...)
-	newCol := t.cols[off : off+int32(t.qdLen)+1]
-	// StepDP writes into newCol; parentCol and newCol share the arena
-	// but never overlap (newCol is freshly appended).
-	wed.StepDP(costs, t.qd, sym, parentCol, newCol)
-	t.colMin = append(t.colMin, wed.Min(newCol))
+	t.cols = append(t.cols, t.step[lo:hi]...)
+	mn := math.Inf(1)
+	if hi > lo {
+		mn = wed.Min(t.step[lo:hi])
+	}
+	t.colMin = append(t.colMin, mn)
 	ci = int32(len(t.nodes))
 	t.nodes = append(t.nodes, trieNode{
 		sym:         sym,
 		col:         off,
+		lo:          int32(lo),
+		hi:          int32(hi),
 		firstChild:  nilNode,
 		nextSibling: t.nodes[ni].firstChild,
 	})
@@ -83,10 +127,15 @@ func (t *trie) child(ni int32, sym traj.Symbol, costs wed.Costs) (ci int32, comp
 	return ci, true
 }
 
-// tail returns E^d_k for node ni: the last entry of its column,
-// wed(P^d[1..k], Q^d).
+// tail returns E^d_k for node ni: the last cell of its column,
+// wed(P^d[1..k], Q^d) — +Inf when cell |Q^d| fell outside the band (its
+// true value is ≥ τ and can never join a result).
 func (t *trie) tail(ni int32) float64 {
-	return t.cols[t.nodes[ni].col+int32(t.qdLen)]
+	nd := t.nodes[ni]
+	if nd.lo < nd.hi && nd.hi == int32(t.qdLen)+1 {
+		return t.cols[nd.col+(nd.hi-nd.lo)-1]
+	}
+	return math.Inf(1)
 }
 
 // min returns the column minimum of node ni.
@@ -94,3 +143,12 @@ func (t *trie) min(ni int32) float64 { return t.colMin[ni] }
 
 // numNodes returns the number of cached columns (trie size metric).
 func (t *trie) numNodes() int { return len(t.nodes) }
+
+// arenaCap reports the trie's retained arena footprint in float64-sized
+// units — the input to the pool-bloat cap in Put. Nodes and colMin count
+// too: with narrow or empty bands a node costs more than its cells, so a
+// cols-only measure would let the node arena pin memory unchecked.
+func (t *trie) arenaCap() int {
+	const nodeCells = (int(unsafe.Sizeof(trieNode{})) + 7) / 8
+	return cap(t.cols) + cap(t.colMin) + cap(t.step) + cap(t.nodes)*nodeCells
+}

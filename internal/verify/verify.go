@@ -2,7 +2,11 @@
 // verification that runs the WED dynamic programming bidirectionally from
 // the candidate position (Lemma 1), early termination on the column lower
 // bound (Eq. 11), and bidirectional tries that cache DP columns across
-// candidates sharing path prefixes (Algorithms 3–6).
+// candidates sharing path prefixes (Algorithms 3–6). Cached columns are
+// τ-banded: only the cell range that can still influence a result under
+// the query threshold is computed and stored (see trie.go and
+// wed.StepDPBanded); the CellsComputed/CellsAvailable counters measure
+// the saving, and banding is bit-equal to the full-width DP.
 //
 // Three modes with identical result sets support the paper's ablations:
 //
@@ -12,6 +16,7 @@
 package verify
 
 import (
+	"math"
 	"sync"
 
 	"subtraj/internal/traj"
@@ -50,6 +55,12 @@ type Options struct {
 	// DisableEarlyTermination turns off the Eq. 11 lower-bound cut
 	// (ablation for Table 5's UPR).
 	DisableEarlyTermination bool
+	// DisableBanding makes the tries compute and store full-width DP
+	// columns instead of τ-banded ones — the pre-banding behavior, kept
+	// as an ablation and as the baseline of the banded-equivalence
+	// tests. Results are identical either way; only CellsComputed and
+	// the arena sizes differ.
+	DisableBanding bool
 }
 
 // Stats instruments a verification run with the quantities of Table 5.
@@ -66,6 +77,13 @@ type Stats struct {
 	// StepDPCalls counts columns actually computed by StepDP (CMR
 	// numerator).
 	StepDPCalls int64
+	// CellsComputed counts DP-cell recurrence evaluations inside those
+	// StepDP calls; CellsAvailable is what full-width columns would have
+	// cost (StepDPCalls × (|Q^d|+1)). Their ratio is the cell-level
+	// band-pruning rate — the Table-5-style metric of the τ-banded
+	// verification (1.0 when banding is disabled).
+	CellsComputed  int64
+	CellsAvailable int64
 	// TrieNodes is the total number of cached DP columns across the
 	// bidirectional tries at the end of the query (memory metric of
 	// §5.2; equals StepDPCalls plus one root per trie in BT mode).
@@ -82,6 +100,8 @@ func (s *Stats) Add(o Stats) {
 	s.ColumnsAvailable += o.ColumnsAvailable
 	s.ColumnsVisited += o.ColumnsVisited
 	s.StepDPCalls += o.StepDPCalls
+	s.CellsComputed += o.CellsComputed
+	s.CellsAvailable += o.CellsAvailable
 	s.TrieNodes += o.TrieNodes
 	s.Matches += o.Matches
 }
@@ -94,6 +114,10 @@ func (s Stats) CMR() float64 { return ratio(s.StepDPCalls, s.ColumnsVisited) }
 
 // TUR returns the total unpruned rate UPR × CMR.
 func (s Stats) TUR() float64 { return s.UPR() * s.CMR() }
+
+// BandRatio returns CellsComputed / CellsAvailable: the fraction of DP
+// cells the τ-banded columns actually evaluated (1.0 = no cell pruning).
+func (s Stats) BandRatio() float64 { return ratio(s.CellsComputed, s.CellsAvailable) }
 
 func ratio(a, b int64) float64 {
 	if b == 0 {
@@ -113,14 +137,26 @@ type Candidate struct {
 // Verifier verifies the candidates of one query: create (or Get from the
 // package pool) per query, feed candidates, then call Results. Reset makes
 // it reusable across queries with its scratch state — DP column arenas,
-// trie nodes, result maps — retained, so a steady-state query stream
+// trie nodes, match buffers — retained, so a steady-state query stream
 // allocates near-zero in the verify phase.
+//
+// Matches accumulate per trajectory: candidates should arrive grouped by
+// trajectory ID (filter.GroupByTrajectory order), letting each
+// trajectory's raw matches be sorted and min-merged in one flush instead
+// of hashing a map key per (start, end) pair in the enumeration hot loop.
+// Ungrouped input stays correct — Results does a final adjacent merge
+// over the canonical sort — it just buffers and merges less efficiently.
 type Verifier struct {
 	costs wed.Costs
 	ds    *traj.Dataset
 	q     []traj.Symbol
 	tau   float64
 	opts  Options
+
+	// bandTau is the trie column band threshold: v.tau normally, +Inf
+	// under Options.DisableBanding. Cells ≥ bandTau can never reach a
+	// result because every per-candidate τ′ is ≤ tau.
+	bandTau float64
 
 	// qrev is q reversed, computed once per Reset: the backward trie of
 	// position iq runs over reversed(q[:iq]) == qrev[len(q)-iq:], so no
@@ -136,16 +172,21 @@ type Verifier struct {
 	// Reset retires every trie of the previous query).
 	trieFree []*trie
 
-	// results maps a match to its exact WED: by Lemma 1 the minimum of
-	// the three-way decomposition over all candidates covering a match
-	// equals wed(P[s..t], Q).
-	results map[traj.MatchKey]float64
+	// Grouped accumulation state: chunk buffers the raw (possibly
+	// duplicated) matches of curID; flush sorts it by (S, T) and
+	// min-merges into out. By Lemma 1 the minimum of the three-way
+	// decomposition over all candidates covering a match equals
+	// wed(P[s..t], Q), so the min-merge recovers the exact WED.
+	curID int32
+	chunk []traj.Match
+	out   []traj.Match
 
 	// swSeen tracks distinct trajectory IDs already scanned in ModeSW.
 	swSeen map[int32]bool
 
-	// Scratch buffers.
-	eb, ef []float64
+	// Scratch buffers. efSuf[k] = min(ef[k:]) lets the match-enumeration
+	// loop skip every dominated E^f suffix in O(1).
+	eb, ef, efSuf []float64
 
 	Stats Stats
 }
@@ -172,18 +213,68 @@ func Get(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts O
 	return v
 }
 
+// Pool-bloat caps: one huge query (long trajectories, fat τ) must not pin
+// its worst-case scratch in the pool forever. Put drops any piece whose
+// retained capacity exceeds its cap; the next query simply reallocates at
+// its own (typically far smaller) natural size. The caps are safety
+// valves sized an order of magnitude above the steady state of the bulk
+// benchmark workload — a cap that binds on every Put would turn the pool
+// into a per-query reallocation treadmill.
+const (
+	// maxRetainedTries bounds the trie free list (a pair per ModeLocal
+	// candidate can pile up arbitrarily many).
+	maxRetainedTries = 64
+	// maxRetainedArena bounds one trie's combined arena footprint
+	// (columns + nodes + column minima), in float64-sized units
+	// (512 KiB per trie).
+	maxRetainedArena = 64 << 10
+	// maxRetainedMatches bounds the chunk/out match buffers (~1.5 MiB).
+	maxRetainedMatches = 64 << 10
+	// maxRetainedSeen bounds the ModeSW dedup map (maps never shrink
+	// their buckets; past the cap it is dropped wholesale).
+	maxRetainedSeen = 32 << 10
+	// maxRetainedCols bounds the E^b/E^f/suffix-min scratch, whose
+	// length tracks the longest early-termination walk.
+	maxRetainedCols = 32 << 10
+)
+
 // Put returns v to the package pool. It drops every reference into the
 // finished query — dataset, cost model, and the query slices the trie Q^d
-// views alias — so pooling never extends their lifetime, while keeping
-// the scratch arenas for the next Get.
+// views alias — so pooling never extends their lifetime, keeps the
+// scratch arenas for the next Get, and caps each retained piece so an
+// outlier query cannot pin its peak footprint in the pool.
 func Put(v *Verifier) {
 	v.costs, v.ds, v.q = nil, nil, nil
 	for iq, tr := range v.tries {
 		v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
 		delete(v.tries, iq)
 	}
+	kept := v.trieFree[:0]
 	for _, t := range v.trieFree {
 		t.qd = nil // aliases the caller's query; reset re-points it
+		if len(kept) < maxRetainedTries && t.arenaCap() <= maxRetainedArena {
+			kept = append(kept, t)
+		}
+	}
+	clear(kept[len(kept):len(v.trieFree)]) // let dropped tries be collected
+	v.trieFree = kept
+	if cap(v.chunk) > maxRetainedMatches {
+		v.chunk = nil
+	}
+	if cap(v.out) > maxRetainedMatches {
+		v.out = nil
+	}
+	if len(v.swSeen) > maxRetainedSeen {
+		v.swSeen = nil
+	}
+	if cap(v.eb) > maxRetainedCols {
+		v.eb = nil
+	}
+	if cap(v.ef) > maxRetainedCols {
+		v.ef = nil
+	}
+	if cap(v.efSuf) > maxRetainedCols {
+		v.efSuf = nil
 	}
 	pool.Put(v)
 }
@@ -193,6 +284,10 @@ func Put(v *Verifier) {
 // DP scratch buffers keep their capacity.
 func (v *Verifier) Reset(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) {
 	v.costs, v.ds, v.q, v.tau, v.opts = costs, ds, q, tau, opts
+	v.bandTau = tau
+	if opts.DisableBanding {
+		v.bandTau = math.Inf(1)
+	}
 	v.qrev = append(v.qrev[:0], q...)
 	for i, j := 0, len(v.qrev)-1; i < j; i, j = i+1, j-1 {
 		v.qrev[i], v.qrev[j] = v.qrev[j], v.qrev[i]
@@ -205,11 +300,9 @@ func (v *Verifier) Reset(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau
 			delete(v.tries, iq)
 		}
 	}
-	if v.results == nil {
-		v.results = make(map[traj.MatchKey]float64)
-	} else {
-		clear(v.results)
-	}
+	v.curID = -1
+	v.chunk = v.chunk[:0]
+	v.out = v.out[:0]
 	if v.swSeen == nil {
 		v.swSeen = make(map[int32]bool)
 	} else {
@@ -224,6 +317,10 @@ func (v *Verifier) Verify(c Candidate) {
 	if v.opts.Mode == ModeSW {
 		v.verifySW(c.ID)
 		return
+	}
+	if c.ID != v.curID {
+		v.flush()
+		v.curID = c.ID
 	}
 	p := v.ds.Path(c.ID)
 	j := int(c.Pos)
@@ -249,39 +346,81 @@ func (v *Verifier) Verify(c Candidate) {
 	v.eb = v.allPrefixWED(tr.bwd, p, j, -1, tauPrime, v.eb[:0])
 	v.ef = v.allPrefixWED(tr.fwd, p, j, +1, tauPrime, v.ef[:0])
 
-	minEf := minOf(v.ef)
+	// Suffix minima of E^f: efSuf[k] = min(ef[k:]). efSuf[0] replaces
+	// the per-candidate minOf scan, and inside the enumeration loop
+	// efSuf[kf] ≥ rem proves every remaining suffix is dominated, so the
+	// inner loop breaks in O(1) instead of scanning to the end.
+	if cap(v.efSuf) < len(v.ef) {
+		v.efSuf = make([]float64, len(v.ef))
+	} else {
+		v.efSuf = v.efSuf[:len(v.ef)]
+	}
+	for k := len(v.ef) - 1; k >= 0; k-- {
+		m := v.ef[k]
+		if k+1 < len(v.ef) && v.efSuf[k+1] < m {
+			m = v.efSuf[k+1]
+		}
+		v.efSuf[k] = m
+	}
+
+	minEf := v.efSuf[0]
 	for kb, ebv := range v.eb {
 		if ebv+minEf >= tauPrime {
 			continue
 		}
 		rem := tauPrime - ebv
 		for kf, efv := range v.ef {
+			if v.efSuf[kf] >= rem {
+				break // every E^f from kf on is ≥ rem
+			}
 			if efv >= rem {
 				continue
 			}
-			m := traj.MatchKey{ID: c.ID, S: int32(j - kb), T: int32(j + kf)}
-			total := subCost + ebv + efv
-			if old, ok := v.results[m]; !ok || total < old {
-				v.results[m] = total
-			}
+			v.chunk = append(v.chunk, traj.Match{
+				ID: c.ID, S: int32(j - kb), T: int32(j + kf),
+				WED: subCost + ebv + efv,
+			})
 		}
 	}
 }
 
-func minOf(xs []float64) float64 {
-	m := xs[0] // allPrefixWED always returns at least E_0
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
+// flush sorts the current trajectory's raw matches by (S, T) and
+// min-merges duplicates into the output buffer.
+func (v *Verifier) flush() {
+	if len(v.chunk) == 0 {
+		return
 	}
-	return m
+	traj.SortMatches(v.chunk) // single ID: effectively (S, T) order
+	v.out = appendMinMerged(v.out, v.chunk)
+	v.chunk = v.chunk[:0]
+}
+
+// appendMinMerged appends the (ID, S, T)-sorted src onto dst, folding
+// runs of equal keys — including one straddling the dst/src boundary —
+// to their minimum WED (the Lemma 1 combination rule). It is the one
+// place the dedup semantics live, shared by the per-trajectory flush and
+// Results' final compaction. Aliasing dst = src[:0] compacts src in
+// place: the write index always trails the read index and the backing
+// array never grows.
+func appendMinMerged(dst, src []traj.Match) []traj.Match {
+	for _, m := range src {
+		if n := len(dst); n > 0 && dst[n-1].Key() == m.Key() {
+			if m.WED < dst[n-1].WED {
+				dst[n-1].WED = m.WED
+			}
+			continue
+		}
+		dst = append(dst, m)
+	}
+	return dst
 }
 
 // allPrefixWED walks/extends the trie along P in the given direction from
 // position j (exclusive) and returns the prefix-WED array E^d, E^d[k] =
 // wed(P^d[1..k], Q^d), for k = 0..K where K is the early-termination depth
-// (Algorithm 5). The returned slice aliases dst's storage.
+// (Algorithm 5). The returned slice aliases dst's storage. Entries may be
+// +Inf when cell |Q^d| fell outside a column's τ-band — such a prefix WED
+// is ≥ τ ≥ τ′ and can never join a result, exactly as its true value.
 func (v *Verifier) allPrefixWED(t *trie, p []traj.Symbol, j, dir int, tauPrime float64, dst []float64) []float64 {
 	node := int32(0)                // root
 	dst = append(dst, t.tail(node)) // E_0 = wed(ε, Q^d)
@@ -290,7 +429,7 @@ func (v *Verifier) allPrefixWED(t *trie, p []traj.Symbol, j, dir int, tauPrime f
 		if i < 0 || i >= len(p) {
 			break
 		}
-		child, computed := t.child(node, p[i], v.costs)
+		child, computed := t.child(node, p[i], v.costs, &v.Stats)
 		if computed {
 			v.Stats.StepDPCalls++
 		}
@@ -328,10 +467,10 @@ func (v *Verifier) takeTrie(qd []traj.Symbol) *trie {
 	if n := len(v.trieFree); n > 0 {
 		t := v.trieFree[n-1]
 		v.trieFree = v.trieFree[:n-1]
-		t.reset(v.costs, qd)
+		t.reset(v.costs, qd, v.bandTau)
 		return t
 	}
-	return newTrie(v.costs, qd)
+	return newTrie(v.costs, qd, v.bandTau)
 }
 
 func (v *Verifier) retireTries(tr dirTries) {
@@ -345,30 +484,33 @@ func (v *Verifier) verifySW(id int32) {
 		return
 	}
 	v.swSeen[id] = true
+	if id != v.curID {
+		v.flush()
+		v.curID = id
+	}
 	p := v.ds.Path(id)
 	v.Stats.ColumnsAvailable += int64(len(p) - 1)
 	for _, m := range wed.AllMatches(v.costs, v.q, p, v.tau) {
-		key := traj.MatchKey{ID: id, S: int32(m.S), T: int32(m.T)}
-		if old, ok := v.results[key]; !ok || m.WED < old {
-			v.results[key] = m.WED
-		}
+		v.chunk = append(v.chunk, traj.Match{ID: id, S: int32(m.S), T: int32(m.T), WED: m.WED})
 	}
 }
 
 // Results returns the deduplicated matches sorted by (ID, S, T). The sort
-// is load-bearing, not cosmetic: results accumulate in a map, so without
-// it the order would differ run to run, and the shard-merge of the
-// parallel pipeline relies on every per-shard result list arriving in
-// this canonical order (see traj.SortMatches).
+// is load-bearing, not cosmetic: per-trajectory match runs accumulate in
+// feed order, so without it the order would follow the candidate stream,
+// and the shard-merge of the parallel pipeline relies on every per-shard
+// result list arriving in this canonical order (see traj.SortMatches).
+// The adjacent merge after the sort folds duplicate (ID, S, T) runs from
+// callers that interleaved trajectories.
 func (v *Verifier) Results() []traj.Match {
+	v.flush()
 	for _, tr := range v.tries {
 		v.Stats.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
 	}
-	out := make([]traj.Match, 0, len(v.results))
-	for k, d := range v.results {
-		out = append(out, traj.Match{ID: k.ID, S: k.S, T: k.T, WED: d})
-	}
-	traj.SortMatches(out)
+	traj.SortMatches(v.out)
+	v.out = appendMinMerged(v.out[:0], v.out)
+	out := make([]traj.Match, len(v.out))
+	copy(out, v.out)
 	v.Stats.Matches = len(out)
 	return out
 }

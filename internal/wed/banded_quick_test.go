@@ -1,0 +1,175 @@
+package wed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tableCosts is a randomly generated weighted cost model over a tiny
+// alphabet: an arbitrary symmetric substitution table with zero diagonal
+// and arbitrary non-negative insertion costs — the full generality the
+// WED assumptions (Proposition 1) allow, including the asymmetric-band
+// shapes of the Net* models.
+type tableCosts struct {
+	ins []float64
+	sub [][]float64
+}
+
+func (t tableCosts) Name() string            { return "table" }
+func (t tableCosts) Sub(a, b Symbol) float64 { return t.sub[a][b] }
+func (t tableCosts) Ins(a Symbol) float64    { return t.ins[a] }
+func (t tableCosts) Del(a Symbol) float64    { return t.ins[a] }
+
+func randTableCosts(rng *rand.Rand, nsym int) tableCosts {
+	c := tableCosts{ins: make([]float64, nsym), sub: make([][]float64, nsym)}
+	for i := range c.ins {
+		// Quantised costs provoke exact ties; zero insertion costs
+		// exercise the band's insertion-chain extension.
+		c.ins[i] = float64(rng.Intn(5)) / 2
+	}
+	for i := range c.sub {
+		c.sub[i] = make([]float64, nsym)
+	}
+	for i := 0; i < nsym; i++ {
+		for j := i + 1; j < nsym; j++ {
+			v := float64(rng.Intn(7)) / 2
+			c.sub[i][j], c.sub[j][i] = v, v
+		}
+	}
+	return c
+}
+
+// rootBand builds the banded root column (insertion prefix sums < tau),
+// mirroring trie.reset.
+func rootBand(c Costs, qd []Symbol, tau float64) (band []float64, lo, hi int) {
+	sum := 0.0
+	for j := 0; j <= len(qd) && sum < tau; j++ {
+		band = append(band, sum)
+		hi = j + 1
+		if j < len(qd) {
+			sum += c.Ins(qd[j])
+		}
+	}
+	return band, 0, hi
+}
+
+// TestStepDPBandedQuick is the banded-equals-full property test: drive
+// StepDPBanded with quick-generated weighted cost tables, random query
+// suffixes, random data symbols, and random thresholds τ′ — including
+// thresholds small enough to empty the band — and check, cell by cell
+// along a whole DP chain, the contract the verifier relies on:
+//
+//  1. every cell whose full-width value is < τ′ lies inside the band and
+//     holds the bit-identical value;
+//  2. no banded cell ever underestimates its full-width value (cells ≥ τ′
+//     may be overestimated, which the verifier never observes);
+//  3. with τ′ = +Inf the band is the whole column and every cell matches
+//     StepDP exactly.
+func TestStepDPBandedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f := func(qRaw []uint8, pRaw []uint8, tauRaw uint16) bool {
+		nsym := 2 + rng.Intn(4)
+		c := randTableCosts(rng, nsym)
+		n := len(qRaw)
+		if n > 8 {
+			n = 8
+		}
+		qd := make([]Symbol, n)
+		for i := 0; i < n; i++ {
+			qd[i] = Symbol(int(qRaw[i]) % nsym)
+		}
+		steps := len(pRaw)
+		if steps > 10 {
+			steps = 10
+		}
+		// τ′ in [0, 8): small values empty the band immediately (even the
+		// root's 0 cell is pruned when τ′ = 0), large ones keep it full.
+		tau := float64(tauRaw%16) / 2
+
+		full := make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			full[j+1] = full[j] + c.Ins(qd[j])
+		}
+		band, lo, hi := rootBand(c, qd, tau)
+		scratch := make([]float64, n+1)
+		for s := 0; s < steps; s++ {
+			p := Symbol(int(pRaw[s]) % nsym)
+			nf := StepDP(c, qd, p, full, nil)
+			nlo, nhi, cells := StepDPBanded(c, qd, p, band, lo, hi, tau, scratch)
+			if cells < 0 || cells > n+1 {
+				return false
+			}
+			if nlo > nhi || nlo < 0 || nhi > n+1 {
+				return false
+			}
+			for j := 0; j <= n; j++ {
+				inBand := j >= nlo && j < nhi
+				switch {
+				case nf[j] < tau:
+					if !inBand || scratch[j] != nf[j] {
+						return false
+					}
+				case inBand && scratch[j] < nf[j]:
+					return false // banded value may never underestimate
+				}
+			}
+			full = nf
+			band = append(band[:0], scratch[nlo:nhi]...)
+			lo, hi = nlo, nhi
+		}
+
+		// τ′ = +Inf: banding disabled, full column, bit-equal everywhere.
+		inf := math.Inf(1)
+		fullCol := make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			fullCol[j+1] = fullCol[j] + c.Ins(qd[j])
+		}
+		for s := 0; s < steps; s++ {
+			p := Symbol(int(pRaw[s]) % nsym)
+			nf := StepDP(c, qd, p, fullCol, nil)
+			nlo, nhi, cells := StepDPBanded(c, qd, p, fullCol, 0, n+1, inf, scratch)
+			if nlo != 0 || nhi != n+1 || cells != n+1 {
+				return false
+			}
+			for j := 0; j <= n; j++ {
+				if scratch[j] != nf[j] {
+					return false
+				}
+			}
+			fullCol = nf
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepDPBandedEmptyParent pins the empty-band conventions: an empty
+// parent band yields an empty (0, 0) child with zero work, and a τ′ that
+// prunes every child cell returns the normalised (0, 0) band rather than
+// a degenerate lo == hi > 0 interval.
+func TestStepDPBandedEmptyParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	c := randTableCosts(rng, 3)
+	qd := []Symbol{0, 1, 2}
+	dst := make([]float64, len(qd)+1)
+	if lo, hi, cells := StepDPBanded(c, qd, 1, nil, 0, 0, 5, dst); lo != 0 || hi != 0 || cells != 0 {
+		t.Fatalf("empty parent: got (%d,%d,%d), want (0,0,0)", lo, hi, cells)
+	}
+	// τ′ = 0 empties every band: even cell values of 0 are pruned
+	// (matches the verifier's strict `< τ′` semantics).
+	band, lo, hi := rootBand(c, qd, 0)
+	if len(band) != 0 || lo != 0 || hi != 0 {
+		t.Fatalf("τ′=0 root band not empty: band=%v [%d,%d)", band, lo, hi)
+	}
+	// A one-cell parent whose every child cell crosses τ′.
+	parent := []float64{0.9}
+	levLike := tableCosts{ins: []float64{1, 1, 1}, sub: [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}}}
+	lo, hi, _ = StepDPBanded(levLike, qd, 1, parent, 0, 1, 1, dst)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("pruned-out child band not normalised: [%d,%d)", lo, hi)
+	}
+}

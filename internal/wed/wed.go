@@ -14,6 +14,8 @@
 // η, fixed at model construction per Appendix D.
 package wed
 
+import "math"
+
 // Symbol is a trajectory element (vertex or edge ID), mirroring
 // traj.Symbol without importing it (both alias int32).
 type Symbol = int32
@@ -149,4 +151,89 @@ func Min(col []float64) float64 {
 		}
 	}
 	return m
+}
+
+// StepDPBanded is the τ-banded variant of StepDP: it advances one DP
+// column computing only the cells that can still matter under a threshold
+// τ. The parent column is given as its band a = cells [alo, ahi); every
+// cell outside the band is guaranteed ≥ τ and treated as +Inf. The child
+// column is written into dst (which must have length ≥ |Qd|+1) at absolute
+// cell indices, and the returned [lo, hi) is the child's band: the
+// smallest interval containing every child cell whose value is < τ (cells
+// of dst outside [lo, hi) are meaningless).
+//
+// Soundness rests on every edit cost being ≥ 0 (the WED assumptions of
+// Proposition 1): a contribution through a source cell ≥ τ is itself ≥ τ,
+// so it can never be the minimiser of a cell that ends up < τ. Cells
+// below alo inherit ≥ τ from the parent band by induction; cells above
+// ahi are reachable only through the child's own insertion chain, which
+// the extension loop follows until it crosses τ. Cells < τ therefore get
+// the exact full-width StepDP value, bit for bit; cells in [lo, hi) that
+// are ≥ τ may be overestimates, which is harmless because (being ≥ τ)
+// they can never reach a result or flip a τ′ ≤ τ comparison.
+//
+// cells reports how many recurrence evaluations were performed — the
+// numerator of the band-pruning ratio next to the full width |Qd|+1
+// (Stats.CellsComputed / Stats.CellsAvailable in the verify package).
+//
+// Passing tau = +Inf disables banding: the result is the full column,
+// identical to StepDP.
+func StepDPBanded(c Costs, qd []Symbol, p Symbol, a []float64, alo, ahi int, tau float64, dst []float64) (lo, hi, cells int) {
+	if alo >= ahi {
+		return 0, 0, 0 // empty parent band: every child cell is ≥ τ too
+	}
+	n := len(qd)
+	del := c.Del(p)
+	inf := math.Inf(1)
+	// Parent-sourced region: cell j draws on parent[j] (del) and
+	// parent[j-1] (sub), so it spans [alo, min(ahi, n)] — the band grows
+	// by at most one over the parent here.
+	top := ahi
+	if top > n {
+		top = n
+	}
+	prev := inf // child[alo-1], out of band by induction
+	for j := alo; j <= top; j++ {
+		v := inf
+		if j < ahi {
+			v = a[j-alo] + del
+		}
+		if j > alo { // parent[j-1] is in [alo, ahi); qd[j-1] exists
+			if d := a[j-1-alo] + c.Sub(p, qd[j-1]); d < v {
+				v = d
+			}
+			if d := prev + c.Ins(qd[j-1]); d < v {
+				v = d
+			}
+		}
+		dst[j] = v
+		prev = v
+		cells++
+	}
+	end := top + 1
+	// Insertion-chain extension: above the parent band the only sub-τ
+	// source is child[j-1] + ins(Qd_j), monotone nondecreasing, so stop
+	// at the first cell ≥ τ.
+	for j := top + 1; j <= n; j++ {
+		v := prev + c.Ins(qd[j-1])
+		cells++
+		if v >= tau {
+			break
+		}
+		dst[j] = v
+		prev = v
+		end = j + 1
+	}
+	// Prune the band back to the first/last cell < τ.
+	lo, hi = alo, end
+	for lo < hi && dst[lo] >= tau {
+		lo++
+	}
+	for hi > lo && dst[hi-1] >= tau {
+		hi--
+	}
+	if lo == hi {
+		return 0, 0, cells // normalise the empty band
+	}
+	return lo, hi, cells
 }
