@@ -54,8 +54,13 @@ type perfBench struct {
 	// timed iteration measures no allocation statistics).
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
-	// SpeedupVsSequential is ns/op(shards=1) ÷ ns/op(this run).
-	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// SpeedupVsSequential is ns/op(shards=1) ÷ ns/op(this run); omitted
+	// for the top-k configurations, which are all sequential.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// SpeedupVsLegacy, on the TopK/.../incremental entry, is
+	// ns/op(legacy restart driver) ÷ ns/op(incremental driver) — the
+	// headline ratio of the cross-round top-k driver.
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy,omitempty"`
 	// CellsComputed/CellsAvailable are the per-op cell counters of the
 	// τ-banded verification (averaged over the benchmark's iterations);
 	// BandRatio is their quotient — the fraction of DP-cell work the
@@ -63,6 +68,10 @@ type perfBench struct {
 	CellsComputed  int64   `json:"cells_computed"`
 	CellsAvailable int64   `json:"cells_available"`
 	BandRatio      float64 `json:"band_ratio"`
+	// Rounds/ReusedCandidates (top-k configurations only) average the
+	// driver's round count and cross-round candidate reuse per query.
+	Rounds           float64 `json:"rounds,omitempty"`
+	ReusedCandidates int64   `json:"reused_candidates,omitempty"`
 }
 
 // perfShardCounts is the sweep of BenchmarkParallelSearch.
@@ -105,44 +114,9 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 			_, st, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: shards})
 			return st, err
 		}
-		var bench perfBench
-		bench.Name = fmt.Sprintf("ParallelSearch/shards=%d", shards)
-		var cellsC, cellsA int64
-		var ops int64
-		if quick {
-			// One-iteration sanity: a single timed query, no stable
-			// statistics — exists so CI exercises this exact code path.
-			start := time.Now()
-			st, err := runOne(0)
-			if err != nil {
-				return err
-			}
-			bench.NsPerOp = time.Since(start).Nanoseconds()
-			cellsC, cellsA, ops = st.Verify.CellsComputed, st.Verify.CellsAvailable, 1
-		} else {
-			// Warm the pools (verifier, trie arenas, candidate buffers)
-			// before measuring, like TestPooledSearchAllocs: the snapshot
-			// tracks steady-state per-op cost, not one-time pool growth.
-			for i := 0; i < 2*len(queries); i++ {
-				if _, err := runOne(i); err != nil {
-					return err
-				}
-			}
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				cellsC, cellsA, ops = 0, 0, int64(b.N)
-				for i := 0; i < b.N; i++ {
-					st, err := runOne(i)
-					if err != nil {
-						b.Fatal(err)
-					}
-					cellsC += st.Verify.CellsComputed
-					cellsA += st.Verify.CellsAvailable
-				}
-			})
-			bench.NsPerOp = r.NsPerOp()
-			bench.AllocsPerOp = r.AllocsPerOp()
-			bench.BytesPerOp = r.AllocedBytesPerOp()
+		bench, err := measureBench(fmt.Sprintf("ParallelSearch/shards=%d", shards), quick, len(queries), runOne)
+		if err != nil {
+			return err
 		}
 		if shards == 1 {
 			seqNs = bench.NsPerOp
@@ -150,12 +124,38 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 		if bench.NsPerOp > 0 && seqNs > 0 {
 			bench.SpeedupVsSequential = float64(seqNs) / float64(bench.NsPerOp)
 		}
-		if ops > 0 {
-			bench.CellsComputed = cellsC / ops
-			bench.CellsAvailable = cellsA / ops
+		snap.Benchmarks = append(snap.Benchmarks, bench)
+	}
+
+	// Top-k configuration (k = 10): the legacy restart driver vs the
+	// incremental cross-round driver on the same workload, sequential
+	// (single shard, Parallelism 1) so the ratio is pure algorithmic
+	// saving — carried best table, candidate reuse, dynamic tightening —
+	// with no hardware parallelism mixed in.
+	const topkK = 10
+	engTopK := core.NewEngineShards(c.Data(model), costs, 1)
+	var legacyNs int64
+	for _, d := range []struct {
+		name   string
+		legacy bool
+	}{{"legacy", true}, {"incremental", false}} {
+		fmt.Fprintf(os.Stderr, "[benchall] TopK/k=%d/%s...\n", topkK, d.name)
+		runOne := func(i int) (*core.QueryStats, error) {
+			q := queries[i%len(queries)]
+			_, st, err := engTopK.SearchTopKStats(q, topkK, core.TopKOptions{Parallelism: 1, Legacy: d.legacy})
+			return st, err
 		}
-		if cellsA > 0 {
-			bench.BandRatio = float64(cellsC) / float64(cellsA)
+		// Fixed op count (one full query rotation): a top-k op costs
+		// seconds, so testing.Benchmark's 1 s target would time a single
+		// query; the mean must cover the whole query set.
+		bench, err := measureFixed(fmt.Sprintf("TopK/k=%d/%s", topkK, d.name), quick, len(queries), runOne)
+		if err != nil {
+			return err
+		}
+		if d.legacy {
+			legacyNs = bench.NsPerOp
+		} else if bench.NsPerOp > 0 && legacyNs > 0 {
+			bench.SpeedupVsLegacy = float64(legacyNs) / float64(bench.NsPerOp)
 		}
 		snap.Benchmarks = append(snap.Benchmarks, bench)
 	}
@@ -179,6 +179,123 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// opCounters accumulates the per-op QueryStats counters of one timed
+// configuration — the cell-level band counters and the top-k
+// round/reuse counters — and writes their per-op averages into a
+// perfBench. One accumulation/finalization path serves both measurement
+// strategies, so a new snapshot counter is added in exactly one place.
+type opCounters struct {
+	cellsC, cellsA, reused, rounds int64
+}
+
+func (c *opCounters) record(st *core.QueryStats) {
+	c.cellsC += st.Verify.CellsComputed
+	c.cellsA += st.Verify.CellsAvailable
+	c.reused += int64(st.CandidatesReused)
+	c.rounds += int64(st.Rounds)
+}
+
+func (c *opCounters) finalize(bench *perfBench, ops int64) {
+	if ops > 0 {
+		bench.CellsComputed = c.cellsC / ops
+		bench.CellsAvailable = c.cellsA / ops
+		bench.Rounds = float64(c.rounds) / float64(ops)
+		bench.ReusedCandidates = c.reused / ops
+	}
+	if c.cellsA > 0 {
+		bench.BandRatio = float64(c.cellsC) / float64(c.cellsA)
+	}
+}
+
+// measureBench times one configuration: a single timed query under
+// -quick (no stable statistics — CI proves the pipeline runs), otherwise
+// pool-warming passes followed by testing.Benchmark over the query set.
+// Cell counters and top-k round/reuse counters are averaged per op.
+func measureBench(name string, quick bool, warmups int, runOne func(int) (*core.QueryStats, error)) (perfBench, error) {
+	bench := perfBench{Name: name}
+	var counters opCounters
+	var ops int64
+	if quick {
+		start := time.Now()
+		st, err := runOne(0)
+		if err != nil {
+			return bench, err
+		}
+		bench.NsPerOp = time.Since(start).Nanoseconds()
+		counters.record(st)
+		ops = 1
+	} else {
+		// Warm the pools (verifier, trie arenas, candidate buffers)
+		// before measuring, like TestPooledSearchAllocs: the snapshot
+		// tracks steady-state per-op cost, not one-time pool growth.
+		for i := 0; i < 2*warmups; i++ {
+			if _, err := runOne(i); err != nil {
+				return bench, err
+			}
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			counters = opCounters{}
+			ops = int64(b.N)
+			for i := 0; i < b.N; i++ {
+				st, err := runOne(i)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				counters.record(st)
+			}
+		})
+		if benchErr != nil {
+			return bench, benchErr
+		}
+		bench.NsPerOp = r.NsPerOp()
+		bench.AllocsPerOp = r.AllocsPerOp()
+		bench.BytesPerOp = r.AllocedBytesPerOp()
+	}
+	counters.finalize(&bench, ops)
+	return bench, nil
+}
+
+// measureFixed times one configuration over exactly `ops` iterations
+// (after one warm rotation), with allocation statistics read from
+// runtime.MemStats — for configurations whose per-op cost is too large
+// for testing.Benchmark's time-targeted iteration count to cover the
+// query set. Under -quick it degrades to the same single-op smoke as
+// measureBench.
+func measureFixed(name string, quick bool, ops int, runOne func(int) (*core.QueryStats, error)) (perfBench, error) {
+	if quick {
+		return measureBench(name, true, 0, runOne)
+	}
+	bench := perfBench{Name: name}
+	for i := 0; i < ops; i++ { // warm pools, one full query rotation
+		if _, err := runOne(i); err != nil {
+			return bench, err
+		}
+	}
+	var counters opCounters
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		st, err := runOne(i)
+		if err != nil {
+			return bench, err
+		}
+		counters.record(st)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(ops)
+	bench.NsPerOp = elapsed.Nanoseconds() / n
+	bench.AllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / n
+	bench.BytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / n
+	counters.finalize(&bench, n)
+	return bench, nil
 }
 
 // gitRev returns the short HEAD revision, or "dev" outside a git checkout.

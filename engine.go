@@ -120,6 +120,13 @@ func (e *Engine) SearchTopK(q []Symbol, k int) ([]Match, error) {
 	return e.inner.SearchTopK(q, k)
 }
 
+// SearchTopKStats is SearchTopK with options and the incremental
+// driver's merged QueryStats (rounds, reused candidates, final effective
+// τ — see core.Engine.SearchTopKStats).
+func (e *Engine) SearchTopKStats(q []Symbol, k int, opts TopKOptions) ([]Match, *QueryStats, error) {
+	return e.inner.SearchTopKStats(q, k, opts)
+}
+
 // SearchExact answers the exact path query (the paper's §1 baseline):
 // every subtrajectory equal to Q symbol for symbol, found via the rarest
 // query symbol's postings with no dynamic programming.

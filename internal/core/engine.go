@@ -141,6 +141,27 @@ type QueryStats struct {
 	// Workers is the number of shard workers that processed them
 	// (min(Parallelism, Shards); 1 on the sequential path).
 	Shards, Workers int
+
+	// The remaining fields are produced only by the top-k drivers
+	// (SearchTopKStats); they stay zero for plain searches.
+	//
+	// Rounds is the number of threshold-growing rounds the driver ran;
+	// RoundCandidates records each round's enumerated candidate count
+	// (before any cross-round skipping).
+	Rounds          int
+	RoundCandidates []int
+	// CandidatesReused counts candidates enumerated in a later round but
+	// skipped because their trajectory's best match was already resolved
+	// in an earlier round — the cross-round work reuse of the
+	// incremental driver (always 0 for the legacy restart driver).
+	// Candidates, by contrast, counts only candidates actually verified.
+	CandidatesReused int
+	// EffectiveTau is the driver's final effective threshold: the radius
+	// below which the reported answer is provably complete. Once k
+	// trajectories resolve this is the k-th best WED (dynamic
+	// tightening); otherwise it is the last round's τ (the feasibility
+	// ceiling when the searchable radius was exhausted).
+	EffectiveTau float64
 }
 
 // TemporalMode selects the §4.3 constraint form.

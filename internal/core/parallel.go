@@ -98,6 +98,43 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 // stores one concrete type regardless of what the panic carried.
 type workerPanic struct{ val any }
 
+// fanOutShards runs task(s) for every shard index on up to `workers`
+// goroutines. The first worker panic is captured (the dying worker
+// drains the task channel so the feeder never blocks) and re-raised on
+// the caller's goroutine: a panicking cost model then behaves exactly
+// as on the sequential path (net/http's per-request recover catches it)
+// instead of killing the process from a bare worker goroutine. Shared
+// by the plain sharded search and the top-k rounds.
+func fanOutShards(numShards, workers int, task func(s int)) {
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	var panicked atomic.Value // first worker panic, re-raised on the caller
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, workerPanic{p})
+					for range tasks {
+					}
+				}
+			}()
+			for s := range tasks {
+				task(s)
+			}
+		}()
+	}
+	for s := 0; s < numShards; s++ {
+		tasks <- s
+	}
+	close(tasks)
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.(workerPanic).val)
+	}
+}
+
 // shardOut is one shard task's contribution to the merged answer.
 type shardOut struct {
 	matches []traj.Match
@@ -116,39 +153,9 @@ type shardOut struct {
 func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *QueryStats) []traj.Match {
 	numShards := e.sidx.NumShards()
 	outs := make([]shardOut, numShards)
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	var panicked atomic.Value // first worker panic, re-raised on the caller
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panicked.CompareAndSwap(nil, workerPanic{p})
-					// Drain so the feeder below never blocks on a
-					// worker that died mid-queue.
-					for range tasks {
-					}
-				}
-			}()
-			for s := range tasks {
-				outs[s] = e.runShard(qr, plan, s)
-			}
-		}()
-	}
-	for s := 0; s < numShards; s++ {
-		tasks <- s
-	}
-	close(tasks)
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		// Re-panic on the query's own goroutine: a panicking cost model
-		// then behaves exactly as on the sequential path (net/http's
-		// per-request recover catches it) instead of killing the process
-		// from a bare worker goroutine.
-		panic(p.(workerPanic).val)
-	}
+	fanOutShards(numShards, workers, func(s int) {
+		outs[s] = e.runShard(qr, plan, s)
+	})
 
 	var total int
 	for s := range outs {

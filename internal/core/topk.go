@@ -1,17 +1,63 @@
 package core
 
 import (
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"subtraj/internal/filter"
 	"subtraj/internal/traj"
+	"subtraj/internal/verify"
 	"subtraj/internal/wed"
 )
 
+// This file implements the top-k protocol of the paper's effectiveness
+// experiments (§6.2.1, Table 3): for the k data trajectories most similar
+// to the query, return each trajectory's best subtrajectory match
+// (smallest WED, ties broken by shortest span, then ID and position),
+// ordered by ascending WED.
+//
+// Two drivers answer it:
+//
+//   - The incremental driver (default) grows τ geometrically like the
+//     restart driver but carries state across rounds: a per-trajectory
+//     best-match table (every trajectory that produces a match at some τ
+//     has its *exact* best — the search reports all matches under τ, so
+//     the minimum is final), a resolved set so later rounds skip those
+//     trajectories' candidates entirely, one verifier whose scratch
+//     arenas persist across rounds (Reset, not reallocation), and
+//     dynamic threshold tightening: once the table holds k entries, the
+//     remaining trajectory groups of the round are verified under
+//     nextafter(k-th best WED) instead of the round τ, so the final
+//     round shrinks toward the answer instead of exploding toward the
+//     feasibility ceiling.
+//
+//   - The legacy restart driver (TopKOptions.Legacy) re-runs the whole
+//     filter-and-verify pipeline from scratch each round. It is kept as
+//     the equivalence baseline: both drivers return bit-equal results
+//     (TestTopKEquivalence), because tightening only ever suppresses
+//     matches that provably cannot enter the top-k (see the invariant
+//     note on topkState).
+
+// TopKOptions tunes SearchTopKStats; the zero value is the incremental
+// driver with automatic parallelism.
+type TopKOptions struct {
+	// Parallelism caps the shard workers of each round, exactly like
+	// Query.Parallelism (0 = auto, 1 = sequential). Every setting — and
+	// both drivers — return the identical result slice.
+	Parallelism int
+	// Legacy selects the restart driver: each round is an independent
+	// full SearchQuery. Slower (no carried state, no tightening) but
+	// maximally simple; kept as the correctness baseline the incremental
+	// driver is cross-checked against.
+	Legacy bool
+}
+
 // SearchTopK returns, for the k data trajectories most similar to the
-// query, each trajectory's best subtrajectory match (smallest WED, ties
-// broken by the shortest span), ordered by ascending WED. This is the
-// top-k protocol of the paper's effectiveness experiments (§6.2.1,
-// Table 3).
+// query, each trajectory's best subtrajectory match, ordered by ascending
+// WED (ties by span, ID, position).
 //
 // The search grows the threshold geometrically until k trajectories are
 // found or the feasibility ceiling τ ≤ min(c(Q), wed(ε, Q)) is reached —
@@ -20,50 +66,395 @@ import (
 // can answer exactly; trajectories farther away than the ceiling are not
 // reported.
 func (e *Engine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
-	return e.SearchTopKP(q, k, 0)
+	res, _, err := e.SearchTopKStats(q, k, TopKOptions{})
+	return res, err
 }
 
 // SearchTopKP is SearchTopK with an explicit shard-parallelism cap for
-// the underlying threshold-growing searches (0 = auto; see
+// the underlying threshold-growing rounds (0 = auto; see
 // Query.Parallelism). Callers that meter concurrency — the server's
 // shared worker budget — pass the parallelism they reserved.
 func (e *Engine) SearchTopKP(q []traj.Symbol, k, parallelism int) ([]traj.Match, error) {
+	res, _, err := e.SearchTopKStats(q, k, TopKOptions{Parallelism: parallelism})
+	return res, err
+}
+
+// SearchTopKStats answers the top-k protocol and returns the driver's
+// merged QueryStats: per-phase durations and verification counters summed
+// over every round, Rounds/RoundCandidates/CandidatesReused describing
+// the round schedule, and EffectiveTau — the radius below which the
+// answer is provably complete (the k-th best WED once k trajectories
+// resolved, the last searched τ otherwise).
+func (e *Engine) SearchTopKStats(q []traj.Symbol, k int, opts TopKOptions) ([]traj.Match, *QueryStats, error) {
 	if len(q) == 0 {
-		return nil, ErrEmptyQuery
+		return nil, nil, ErrEmptyQuery
 	}
 	if k <= 0 {
-		return nil, nil
+		return nil, &QueryStats{Shards: e.sidx.NumShards()}, nil
 	}
+	if opts.Legacy {
+		return e.searchTopKLegacy(q, k, opts.Parallelism)
+	}
+	return e.searchTopKIncremental(q, k, opts)
+}
+
+// topKCeiling returns the feasibility ceiling min(c(Q), wed(ε, Q)),
+// nudged below: strict < in Definition 2 means τ = ceiling exactly may
+// still be feasible, and the filter needs c(Q) ≥ τ to stay applicable.
+func (e *Engine) topKCeiling(q []traj.Symbol) float64 {
 	ceiling := SumFilterCost(e.costs, q)
 	if s := wed.SumIns(e.costs, q); s < ceiling {
 		ceiling = s
 	}
-	// Strict < in Definition 2 means τ = ceiling exactly may still be
-	// feasible; nudge below to keep the filter applicable.
-	ceiling *= 1 - 1e-12
+	return ceiling * (1 - 1e-12)
+}
 
-	tau := ceiling / 64
-	for {
-		res, _, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})
-		if err != nil {
-			return nil, err
+// topKStartTau is the first round's threshold; rounds grow by topKGrowth
+// until the ceiling. Both drivers share the schedule so their round
+// boundaries — and therefore their results — line up exactly.
+const (
+	topKStartDiv = 64
+	topKGrowth   = 4
+)
+
+// --- incremental driver --------------------------------------------------
+
+// topkState is the cross-round state of the incremental driver: the ≤ k
+// best resolved per-trajectory matches and the set of every resolved
+// trajectory. It is shared by the shard workers of a round (mutex), and
+// the final result is order-independent:
+//
+// Invariant: the table only ever holds *exact* per-trajectory bests, and
+// its worst entry only ever improves. A trajectory group verified under
+// bound b = nextafter(worst WED) either yields its true best (if that
+// best < b, every match under b is enumerated, so the minimum is exact)
+// or yields nothing / a value ≥ b — and a best ≥ b exceeds the current
+// worst, which already exceeds the final k-th best, so the trajectory
+// could never have entered the top-k anyway. Offers race-safely
+// re-check against the table under the lock, so a stale (too-large)
+// bound read can only admit extra verification work, never a wrong
+// entry. Hence every worker interleaving — including the sequential
+// one — converges on the unique k-minimum under the total (WED, span,
+// ID, S, T) order.
+type topkState struct {
+	k  int
+	mu sync.Mutex
+	// best holds the up-to-k best resolved matches (unordered); worst
+	// indexes its maximum by topKLess once len(best) == k.
+	best  []traj.Match
+	worst int
+	// resolved marks trajectories whose exact best is known (admitted to
+	// the table at least once); later rounds skip their candidates.
+	resolved map[int32]bool
+	// full mirrors len(best) == k without the lock, letting the hot
+	// bound() fast-path skip locking until tightening can matter.
+	full atomic.Bool
+}
+
+func newTopKState(k int) *topkState {
+	return &topkState{k: k, resolved: make(map[int32]bool)}
+}
+
+// isResolved reports whether id's best match is already known. Reads
+// race only with inserts of *other* trajectories (a trajectory's
+// candidates form one group processed by one worker), so the lock just
+// orders map access.
+func (st *topkState) isResolved(id int32) bool {
+	st.mu.Lock()
+	r := st.resolved[id]
+	st.mu.Unlock()
+	return r
+}
+
+// bound returns the current effective verification threshold for a
+// trajectory group: the round τ until the table is full, then
+// nextafter(worst WED) — strictly above the worst so exact WED ties are
+// still enumerated and tie-broken by span/ID — capped at the round τ
+// (trie bands are built for the round τ; see verify.VerifyAt).
+func (st *topkState) bound(tauRound float64) float64 {
+	if !st.full.Load() {
+		return tauRound
+	}
+	st.mu.Lock()
+	b := math.Nextafter(st.best[st.worst].WED, math.Inf(1))
+	st.mu.Unlock()
+	if b > tauRound {
+		b = tauRound
+	}
+	return b
+}
+
+// offer records trajectory m.ID as resolved with exact best m and admits
+// m to the table if it beats the current worst entry.
+func (st *topkState) offer(m traj.Match) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.resolved[m.ID] = true
+	if len(st.best) < st.k {
+		st.best = append(st.best, m)
+		if len(st.best) == st.k {
+			st.refreshWorst()
+			st.full.Store(true)
 		}
-		best := bestPerTrajectoryOrdered(res)
-		if len(best) >= k {
-			return best[:k], nil
+		return
+	}
+	if topKLess(m, st.best[st.worst]) {
+		st.best[st.worst] = m
+		st.refreshWorst()
+	}
+}
+
+func (st *topkState) refreshWorst() {
+	w := 0
+	for i := 1; i < len(st.best); i++ {
+		if topKLess(st.best[w], st.best[i]) {
+			w = i
+		}
+	}
+	st.worst = w
+}
+
+// sorted returns the table ordered by (WED, span, ID, S, T).
+func (st *topkState) sorted() []traj.Match {
+	out := make([]traj.Match, len(st.best))
+	copy(out, st.best)
+	sort.Slice(out, func(i, j int) bool { return topKLess(out[i], out[j]) })
+	return out
+}
+
+func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions) ([]traj.Match, *QueryStats, error) {
+	ceiling := e.topKCeiling(q)
+	tau := ceiling / topKStartDiv
+	st := newTopKState(k)
+	workers := e.EffectiveParallelism(opts.Parallelism)
+	stats := &QueryStats{Shards: e.sidx.NumShards(), Workers: workers}
+
+	// The sequential path holds one verifier across every round: Reset
+	// re-banding it to each round's τ keeps the trie arenas, match
+	// buffers, and DP scratch instead of cycling them through the pool.
+	var ver *verify.Verifier
+	defer func() {
+		if ver != nil {
+			verify.Put(ver)
+		}
+	}()
+
+	for {
+		start := time.Now()
+		plan, err := filter.BuildPlan(e.costs, e.sidx, q, tau)
+		stats.MinCandTime += time.Since(start)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.SubseqLen, stats.CSum = len(plan.Subseq), plan.CSum
+		stats.Rounds++
+
+		if workers <= 1 {
+			if ver == nil {
+				ver = verify.Get(e.costs, e.ds, q, tau, verify.Options{})
+			} else {
+				ver.Reset(e.costs, e.ds, q, tau, verify.Options{})
+			}
+			e.topKRoundSequential(plan, tau, st, ver, stats)
+		} else {
+			e.topKRoundSharded(q, plan, tau, workers, st, stats)
+		}
+
+		if st.full.Load() {
+			// k exact bests are known and every unresolved trajectory's
+			// best exceeds the table's worst: the answer is final.
+			break
 		}
 		if tau >= ceiling {
-			return best, nil // fewer than k trajectories inside the searchable radius
+			break // fewer than k trajectories inside the searchable radius
 		}
-		tau *= 4
+		tau *= topKGrowth
+		if tau > ceiling {
+			tau = ceiling
+		}
+	}
+
+	res := st.sorted()
+	stats.Verify.Matches = len(res)
+	stats.EffectiveTau = tau
+	if len(res) >= k && k > 0 {
+		stats.EffectiveTau = res[k-1].WED
+	}
+	return res, stats, nil
+}
+
+// topKRoundSequential runs one round on the caller's goroutine with the
+// cross-round verifier.
+func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkState, ver *verify.Verifier, stats *QueryStats) {
+	start := time.Now()
+	buf := getCandBuf()
+	cands := *buf
+	for s := 0; s < e.sidx.NumShards(); s++ {
+		cands = plan.Candidates(e.sidx.Shard(s), cands)
+	}
+	filter.GroupByTrajectory(cands)
+	stats.LookupTime += time.Since(start)
+	stats.RoundCandidates = append(stats.RoundCandidates, len(cands))
+
+	start = time.Now()
+	verified, skipped := verifyTopKGroups(ver, cands, st, tau)
+	stats.VerifyTime += time.Since(start)
+	stats.Candidates += verified
+	stats.CandidatesReused += skipped
+	stats.Verify.Add(ver.SnapshotStats())
+	*buf = cands
+	candBufs.Put(buf)
+}
+
+// topKRoundSharded fans one round's shards over `workers` goroutines
+// sharing the cross-round state. Workers read the tightening bound from
+// st per trajectory group; the final table is order-independent (see
+// topkState), so Parallelism 1 vs N stay bit-equal even though the
+// per-round work counters may differ with scheduling.
+func (e *Engine) topKRoundSharded(q []traj.Symbol, plan *filter.Plan, tau float64, workers int, st *topkState, stats *QueryStats) {
+	numShards := e.sidx.NumShards()
+	outs := make([]topkShardOut, numShards)
+	fanOutShards(numShards, workers, func(s int) {
+		outs[s] = e.topKRunShard(q, plan, tau, s, st)
+	})
+
+	var enumerated int
+	for s := range outs {
+		o := &outs[s]
+		enumerated += o.enumerated
+		stats.LookupTime += o.lookup
+		stats.VerifyTime += o.verify
+		stats.Candidates += o.verified
+		stats.CandidatesReused += o.skipped
+		stats.Verify.Add(o.vstats)
+	}
+	stats.RoundCandidates = append(stats.RoundCandidates, enumerated)
+}
+
+// topkShardOut is one shard task's contribution to a round.
+type topkShardOut struct {
+	lookup, verify    time.Duration
+	enumerated        int
+	verified, skipped int
+	vstats            verify.Stats
+}
+
+func (e *Engine) topKRunShard(q []traj.Symbol, plan *filter.Plan, tau float64, s int, st *topkState) topkShardOut {
+	var out topkShardOut
+	start := time.Now()
+	buf := getCandBuf()
+	cands := plan.Candidates(e.sidx.Shard(s), *buf)
+	filter.GroupByTrajectory(cands)
+	out.lookup = time.Since(start)
+	out.enumerated = len(cands)
+
+	start = time.Now()
+	ver := verify.Get(e.costs, e.ds, q, tau, verify.Options{})
+	out.verified, out.skipped = verifyTopKGroups(ver, cands, st, tau)
+	out.vstats = ver.SnapshotStats()
+	verify.Put(ver)
+	out.verify = time.Since(start)
+	*buf = cands
+	candBufs.Put(buf)
+	return out
+}
+
+// verifyTopKGroups walks a trajectory-grouped candidate stream: resolved
+// trajectories are skipped wholesale (their exact best is carried from an
+// earlier round), every other group is verified under the current
+// tightened bound and its best match offered to the table.
+func verifyTopKGroups(ver *verify.Verifier, cands []filter.Candidate, st *topkState, tauRound float64) (verified, skipped int) {
+	for i := 0; i < len(cands); {
+		id := cands[i].ID
+		j := i + 1
+		for j < len(cands) && cands[j].ID == id {
+			j++
+		}
+		if st.isResolved(id) {
+			skipped += j - i
+			i = j
+			continue
+		}
+		tauEff := st.bound(tauRound)
+		for _, c := range cands[i:j] {
+			ver.VerifyAt(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ}, tauEff)
+		}
+		verified += j - i
+		if m, ok := ver.TakeBest(); ok {
+			st.offer(m)
+		}
+		i = j
+	}
+	return verified, skipped
+}
+
+// --- legacy restart driver ----------------------------------------------
+
+// searchTopKLegacy is the restart driver: every round is an independent
+// SearchQuery over the full pipeline. Per-round stats are merged so the
+// baseline is observable too, but there is no carried state and no
+// tightening — CandidatesReused is always 0.
+func (e *Engine) searchTopKLegacy(q []traj.Symbol, k, parallelism int) ([]traj.Match, *QueryStats, error) {
+	ceiling := e.topKCeiling(q)
+	tau := ceiling / topKStartDiv
+	merged := &QueryStats{Shards: e.sidx.NumShards()}
+	for {
+		res, st, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})
+		if err != nil {
+			return nil, nil, err
+		}
+		merged.MinCandTime += st.MinCandTime
+		merged.LookupTime += st.LookupTime
+		merged.VerifyTime += st.VerifyTime
+		merged.SubseqLen, merged.CSum = st.SubseqLen, st.CSum
+		merged.Candidates += st.Candidates
+		merged.RoundCandidates = append(merged.RoundCandidates, st.Candidates)
+		merged.Verify.Add(st.Verify)
+		merged.Workers = st.Workers
+		merged.Rounds++
+		best := bestPerTrajectoryOrdered(res)
+		done := len(best) >= k || tau >= ceiling
+		if len(best) > k {
+			best = best[:k]
+		}
+		if done {
+			merged.Verify.Matches = len(best)
+			merged.EffectiveTau = tau
+			if len(best) >= k && k > 0 {
+				merged.EffectiveTau = best[k-1].WED
+			}
+			return best, merged, nil
+		}
+		tau *= topKGrowth
 		if tau > ceiling {
 			tau = ceiling
 		}
 	}
 }
 
+// topKLess is the top-k result order: ascending WED, then span length,
+// then (ID, S, T). Total over distinct trajectories, which makes the
+// k-minimum set — and both drivers' output — unique.
+func topKLess(a, b traj.Match) bool {
+	if a.WED != b.WED {
+		return a.WED < b.WED
+	}
+	la, lb := a.T-a.S, b.T-b.S
+	if la != lb {
+		return la < lb
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.T < b.T
+}
+
 // bestPerTrajectoryOrdered reduces matches to one per trajectory and
-// orders them by (WED, span length, ID, S).
+// orders them by (WED, span length, ID, S) — the legacy driver's
+// per-round reduction.
 func bestPerTrajectoryOrdered(ms []traj.Match) []traj.Match {
 	best := make(map[int32]traj.Match)
 	for _, m := range ms {
@@ -78,22 +469,6 @@ func bestPerTrajectoryOrdered(ms []traj.Match) []traj.Match {
 	for _, m := range best {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.WED != b.WED {
-			return a.WED < b.WED
-		}
-		la, lb := a.T-a.S, b.T-b.S
-		if la != lb {
-			return la < lb
-		}
-		if a.ID != b.ID {
-			return a.ID < b.ID
-		}
-		if a.S != b.S {
-			return a.S < b.S
-		}
-		return a.T < b.T
-	})
+	sort.Slice(out, func(i, j int) bool { return topKLess(out[i], out[j]) })
 	return out
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"subtraj/internal/baselines"
@@ -96,6 +97,98 @@ func TestSearchTopKMatchesOracle(t *testing.T) {
 					t.Fatalf("%s: duplicate trajectory %d in top-k", m.Name, r.ID)
 				}
 				seen[r.ID] = true
+			}
+		}
+	}
+}
+
+// TestTopKEquivalence is the incremental driver's acceptance test: for
+// every cost model, several k (including k = dataset size and k far
+// beyond the searchable radius), and Parallelism 1 vs 4, the incremental
+// driver returns the legacy restart driver's answer bit for bit — same
+// (ID, S, T) order, same WED bits — and the two agree on the round
+// schedule and final effective τ.
+func TestTopKEquivalence(t *testing.T) {
+	env := testutil.NewEnv(41, 40, 24)
+	for _, m := range env.Models() {
+		eng := core.NewEngineShards(m.DS, m.Costs, 4)
+		q := env.Query(m, 8)
+		for _, k := range []int{1, 2, 5, 10, 40, 1000} {
+			legacy, lst, err := eng.SearchTopKStats(q, k, core.TopKOptions{Legacy: true, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s k=%d legacy: %v", m.Name, k, err)
+			}
+			if lst == nil || lst.Rounds < 1 {
+				t.Fatalf("%s k=%d: legacy driver returned no stats (%+v)", m.Name, k, lst)
+			}
+			for _, par := range []int{1, 4} {
+				got, st, err := eng.SearchTopKStats(q, k, core.TopKOptions{Parallelism: par})
+				if err != nil {
+					t.Fatalf("%s k=%d par=%d: %v", m.Name, k, par, err)
+				}
+				label := m.Name + "/topk"
+				assertIdenticalResults(t, label, got, legacy)
+				if st.Rounds != lst.Rounds {
+					t.Fatalf("%s k=%d par=%d: %d rounds, legacy ran %d", m.Name, k, par, st.Rounds, lst.Rounds)
+				}
+				if st.EffectiveTau != lst.EffectiveTau {
+					t.Fatalf("%s k=%d par=%d: effective τ %v, legacy %v", m.Name, k, par, st.EffectiveTau, lst.EffectiveTau)
+				}
+				if len(got) >= k && st.EffectiveTau != got[k-1].WED {
+					t.Fatalf("%s k=%d: effective τ %v != k-th best %v", m.Name, k, st.EffectiveTau, got[k-1].WED)
+				}
+				if len(st.RoundCandidates) != st.Rounds {
+					t.Fatalf("%s k=%d: %d per-round counts for %d rounds", m.Name, k, len(st.RoundCandidates), st.Rounds)
+				}
+				if want := eng.EffectiveParallelism(par); st.Workers != want {
+					t.Fatalf("%s k=%d par=%d: Workers = %d, want %d", m.Name, k, par, st.Workers, want)
+				}
+				if st.Rounds > 1 && st.CandidatesReused == 0 && len(got) > 0 && got[0].WED == 0 {
+					// A sampled query resolves its source trajectory in an
+					// early round; later rounds must skip its candidates.
+					t.Fatalf("%s k=%d par=%d: multi-round query reused no candidates", m.Name, k, par)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKDuplicateHeavy pits both drivers against a duplicate-heavy
+// alphabet (3 symbols, repeated constantly) where candidate lists are
+// huge, per-trajectory match sets are dense, and WED ties are common —
+// the adversarial case for the tightening and reuse logic.
+func TestTopKDuplicateHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := traj.NewDataset(traj.VertexRep)
+	for i := 0; i < 30; i++ {
+		p := make([]traj.Symbol, 10+rng.Intn(20))
+		for j := range p {
+			p[j] = traj.Symbol(rng.Intn(3))
+		}
+		ds.Add(traj.Trajectory{Path: p})
+	}
+	costs := wed.NewLev()
+	eng := core.NewEngineShards(ds, costs, 4)
+	q := []traj.Symbol{0, 1, 0, 0, 2, 1, 0, 1}
+	for _, k := range []int{1, 3, 10, 30} {
+		want := oracleTopK(costs, ds, q, k)
+		legacy, _, err := eng.SearchTopKStats(q, k, core.TopKOptions{Legacy: true})
+		if err != nil {
+			t.Fatalf("legacy k=%d: %v", k, err)
+		}
+		for _, par := range []int{1, 4} {
+			got, _, err := eng.SearchTopKStats(q, k, core.TopKOptions{Parallelism: par})
+			if err != nil {
+				t.Fatalf("k=%d par=%d: %v", k, par, err)
+			}
+			assertIdenticalResults(t, "dup/legacy-vs-incremental", got, legacy)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, oracle found %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Key() != want[i].Key() || math.Abs(got[i].WED-want[i].WED) > 1e-9 {
+					t.Fatalf("k=%d rank %d: %+v, oracle %+v", k, i, got[i], want[i])
+				}
 			}
 		}
 	}

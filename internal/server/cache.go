@@ -33,6 +33,11 @@ type cacheEntry struct {
 	gen     uint64
 	matches []traj.Match
 	count   int // for count-kind entries with no match payload
+	// tau is the τ the computed response reported. For most kinds it is
+	// the request's resolved absolute τ (already part of the key); for
+	// top-k it is the driver's final *effective* threshold, which only
+	// the original execution knows — cached hits must replay it.
+	tau float64
 }
 
 // newResultCache creates an LRU holding at most capacity entries

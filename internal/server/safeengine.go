@@ -79,12 +79,23 @@ func (s *SafeEngine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) 
 	return res, err
 }
 
+// maxTemporalRetries bounds the optimistic RLock→build→retry dance of
+// SearchQuery: past it the query builds the temporal index and runs
+// under the write lock in one critical section. Without the bound, a
+// departure-mode query races every Append for the window between
+// PrepareTemporal's unlock and its own RLock — under sustained append
+// traffic it can lose that race indefinitely and spin (liveness bug).
+const maxTemporalRetries = 2
+
 // SearchQuery answers a fully specified query under the read lock,
 // upgrading to the write lock first when the query needs the not-yet-built
-// temporal index.
+// temporal index. The upgrade is optimistic — build, downgrade, retry —
+// at most maxTemporalRetries times; after that the query runs under the
+// write lock itself, so sustained Append traffic can delay a temporal
+// query but never starve it.
 func (s *SafeEngine) SearchQuery(qr core.Query) ([]traj.Match, *core.QueryStats, error) {
 	needsTemporal := qr.Temporal.Mode == core.TemporalDeparture && !qr.Temporal.DisablePrefilter
-	for {
+	for attempt := 0; ; attempt++ {
 		s.mu.RLock()
 		if !needsTemporal || s.eng.TemporalReady() {
 			res, stats, err := s.eng.SearchQuery(qr)
@@ -92,10 +103,21 @@ func (s *SafeEngine) SearchQuery(qr core.Query) ([]traj.Match, *core.QueryStats,
 			return res, stats, err
 		}
 		// The departure-sorted postings are stale or missing; build them
-		// under the write lock and retry. An Append sneaking in between
-		// the unlock and the retry just sends us around the loop again.
+		// under the write lock. An Append sneaking in between the unlock
+		// and the retry sends us around the loop again — a bounded number
+		// of times.
 		s.mu.RUnlock()
 		s.mu.Lock()
+		if attempt >= maxTemporalRetries {
+			// Retries exhausted: rebuild and answer in one write-locked
+			// critical section no Append can interleave with. Concurrent
+			// searches stall for this one query; liveness beats the lost
+			// read-parallelism.
+			s.eng.PrepareTemporal()
+			res, stats, err := s.eng.SearchQuery(qr)
+			s.mu.Unlock()
+			return res, stats, err
+		}
 		s.eng.PrepareTemporal()
 		s.mu.Unlock()
 	}
@@ -103,17 +125,24 @@ func (s *SafeEngine) SearchQuery(qr core.Query) ([]traj.Match, *core.QueryStats,
 
 // SearchTopK answers the top-k protocol under the read lock.
 func (s *SafeEngine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.SearchTopK(q, k)
+	res, _, err := s.SearchTopKStats(q, k, core.TopKOptions{})
+	return res, err
 }
 
 // SearchTopKP is SearchTopK with an explicit shard-parallelism cap (the
 // server passes the worker-pool slots it reserved for this query).
 func (s *SafeEngine) SearchTopKP(q []traj.Symbol, k, parallelism int) ([]traj.Match, error) {
+	res, _, err := s.SearchTopKStats(q, k, core.TopKOptions{Parallelism: parallelism})
+	return res, err
+}
+
+// SearchTopKStats answers the top-k protocol under the read lock and
+// returns the driver's merged QueryStats (rounds, reused candidates,
+// final effective τ — see core.Engine.SearchTopKStats).
+func (s *SafeEngine) SearchTopKStats(q []traj.Symbol, k int, opts core.TopKOptions) ([]traj.Match, *core.QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.eng.SearchTopKP(q, k, parallelism)
+	return s.eng.SearchTopKStats(q, k, opts)
 }
 
 // NumShards returns the engine's index partition count — the ceiling on

@@ -102,6 +102,67 @@ func TestSafeEngineConcurrentAppendSearch(t *testing.T) {
 	}
 }
 
+// TestTemporalSearchUnderAppendLoad is the liveness regression test for
+// the bounded temporal-index retry: departure-mode queries race a
+// sustained append stream that invalidates the temporal index on every
+// write. With the old unbounded RLock→build→retry loop a query could
+// lose the race indefinitely; the bounded upgrade guarantees each query
+// finishes within maxTemporalRetries+1 attempts, so this test must
+// terminate (and -race checks the write-locked path for races).
+func TestTemporalSearchUnderAppendLoad(t *testing.T) {
+	safe, w := newTestEngine(t)
+	q := sampleQuery(t, w.Data, 6, 2)
+	tau := safe.Threshold(q, 0.3)
+
+	const (
+		appenders = 4
+		searchers = 4
+		rounds    = 50
+	)
+	paths := make([][]traj.Symbol, appenders*rounds)
+	rng := rand.New(rand.NewSource(11))
+	for i := range paths {
+		paths[i] = append([]traj.Symbol(nil), w.Data.Path(int32(rng.Intn(w.Data.Len())))...)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				safe.Append(traj.Trajectory{Path: paths[g*rounds+i]})
+			}
+		}(g)
+	}
+	var searchWG sync.WaitGroup
+	for g := 0; g < searchers; g++ {
+		searchWG.Add(1)
+		go func() {
+			defer searchWG.Done()
+			for i := 0; i < rounds; i++ {
+				qr := core.Query{Q: q, Tau: tau}
+				qr.Temporal.Mode = core.TemporalDeparture
+				qr.Temporal.Lo, qr.Temporal.Hi = 0, 1e12
+				if _, _, err := safe.SearchQuery(qr); err != nil {
+					t.Errorf("temporal search: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Every temporal query must finish even while appends keep coming;
+	// only after they all return do we let the appenders drain.
+	searchWG.Wait()
+	close(stop)
+	wg.Wait()
+}
+
 // TestSafeEngineAppendVisible checks an appended trajectory is findable
 // and bumps the generation.
 func TestSafeEngineAppendVisible(t *testing.T) {

@@ -111,6 +111,8 @@ type counters struct {
 	columnsVisited, columnsAvail, stepDPs atomic.Int64
 	cellsComputed, cellsAvail             atomic.Int64
 	shardWorkers, parallelQueries         atomic.Int64
+	topkRounds, reusedCandidates          atomic.Int64
+	topkVerified                          atomic.Int64
 }
 
 // New builds a Server over eng.
@@ -176,6 +178,12 @@ type queryStatsJSON struct {
 	MinCandNS  int64 `json:"mincand_ns"`
 	LookupNS   int64 `json:"lookup_ns"`
 	VerifyNS   int64 `json:"verify_ns"`
+	// Top-k driver fields (absent for plain searches): the round count,
+	// each round's enumerated candidates, and how many of those were
+	// skipped because their trajectory resolved in an earlier round.
+	Rounds           int   `json:"rounds,omitempty"`
+	RoundCandidates  []int `json:"round_candidates,omitempty"`
+	ReusedCandidates int   `json:"reused_candidates,omitempty"`
 }
 
 type queryResponse struct {
@@ -339,7 +347,10 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 
 	gen := s.eng.Generation()
 	if ent, ok := s.cache.get(key, gen); ok {
-		resp := &queryResponse{Count: ent.count, Tau: tau, Cached: true}
+		// ent.tau is the τ the computed response reported — for top-k the
+		// driver's final effective threshold, which the request itself
+		// does not carry, so cached hits must replay it from the entry.
+		resp := &queryResponse{Count: ent.count, Tau: ent.tau, Cached: true}
 		if req.Kind != "count" {
 			resp.Matches = toMatchJSON(ent.matches)
 		}
@@ -351,7 +362,6 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		n       int
 		qstats  *core.QueryStats
 		qerr    error
-		usedPar int
 	)
 	perr := s.pool.do(ctx, func() {
 		// The request's own pool slot is one shard worker; borrow up to
@@ -369,12 +379,11 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		if par > 1 {
 			s.stats.parallelQueries.Add(1)
 		}
-		usedPar = par
 		switch req.Kind {
 		case "search":
 			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau, Parallelism: par})
 		case "topk":
-			matches, qerr = s.eng.SearchTopKP(req.Q, req.K, par)
+			matches, qstats, qerr = s.eng.SearchTopKStats(req.Q, req.K, core.TopKOptions{Parallelism: par})
 		case "temporal":
 			qr := core.Query{Q: req.Q, Tau: tau, Parallelism: par}
 			qr.Temporal.Mode = mode
@@ -399,15 +408,16 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	}
 	s.stats.matches.Add(int64(n))
 	s.recordQueryStats(qstats)
-	if qstats == nil && req.Kind == "topk" {
-		// Top-k returns no QueryStats but its inner searches do fan out;
-		// keep shard_workers consistent with parallel_queries.
-		s.stats.shardWorkers.Add(int64(usedPar))
+	if req.Kind == "topk" && qstats != nil {
+		// A top-k request carries no τ; report the driver's final
+		// effective threshold — the radius below which the answer is
+		// provably complete.
+		tau = qstats.EffectiveTau
 	}
 
 	// Tag the entry with the generation read *before* the query ran: if an
 	// Append raced with us the entry is already stale and dies on lookup.
-	s.cache.put(&cacheEntry{key: key, gen: gen, matches: matches, count: n})
+	s.cache.put(&cacheEntry{key: key, gen: gen, matches: matches, count: n, tau: tau})
 
 	resp := &queryResponse{Count: n, Tau: tau}
 	if req.Kind != "count" {
@@ -415,11 +425,14 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	}
 	if qstats != nil {
 		resp.Stats = &queryStatsJSON{
-			SubseqLen:  qstats.SubseqLen,
-			Candidates: qstats.Candidates,
-			MinCandNS:  qstats.MinCandTime.Nanoseconds(),
-			LookupNS:   qstats.LookupTime.Nanoseconds(),
-			VerifyNS:   qstats.VerifyTime.Nanoseconds(),
+			SubseqLen:        qstats.SubseqLen,
+			Candidates:       qstats.Candidates,
+			MinCandNS:        qstats.MinCandTime.Nanoseconds(),
+			LookupNS:         qstats.LookupTime.Nanoseconds(),
+			VerifyNS:         qstats.VerifyTime.Nanoseconds(),
+			Rounds:           qstats.Rounds,
+			RoundCandidates:  qstats.RoundCandidates,
+			ReusedCandidates: qstats.CandidatesReused,
 		}
 	}
 	return resp, nil
@@ -446,6 +459,13 @@ func (s *Server) recordQueryStats(qs *core.QueryStats) {
 	s.stats.stepDPs.Add(qs.Verify.StepDPCalls)
 	s.stats.cellsComputed.Add(qs.Verify.CellsComputed)
 	s.stats.cellsAvail.Add(qs.Verify.CellsAvailable)
+	s.stats.topkRounds.Add(int64(qs.Rounds))
+	s.stats.reusedCandidates.Add(int64(qs.CandidatesReused))
+	if qs.Rounds > 0 {
+		// Only top-k drivers report rounds; keep their verified-candidate
+		// total separate so ReusedRatio is not diluted by plain searches.
+		s.stats.topkVerified.Add(int64(qs.Candidates))
+	}
 }
 
 // --- validation and error mapping ---------------------------------------
@@ -593,15 +613,15 @@ type StatsSnapshot struct {
 		Rejected int64 `json:"rejected"`
 	} `json:"pool"`
 	Totals struct {
-		Executed         int64   `json:"executed"`
-		Candidates       int64   `json:"candidates"`
-		Matches          int64   `json:"matches"`
-		MinCandNS        int64   `json:"mincand_ns"`
-		LookupNS         int64   `json:"lookup_ns"`
-		VerifyNS         int64   `json:"verify_ns"`
-		ColumnsVisited   int64   `json:"columns_visited"`
-		ColumnsAvailable int64   `json:"columns_available"`
-		StepDPCalls      int64   `json:"step_dp_calls"`
+		Executed         int64 `json:"executed"`
+		Candidates       int64 `json:"candidates"`
+		Matches          int64 `json:"matches"`
+		MinCandNS        int64 `json:"mincand_ns"`
+		LookupNS         int64 `json:"lookup_ns"`
+		VerifyNS         int64 `json:"verify_ns"`
+		ColumnsVisited   int64 `json:"columns_visited"`
+		ColumnsAvailable int64 `json:"columns_available"`
+		StepDPCalls      int64 `json:"step_dp_calls"`
 		// CellsComputed/CellsAvailable are the cell-level band counters
 		// of the τ-banded verification; BandRatio is their quotient (the
 		// fraction of DP cells the banded columns actually evaluated).
@@ -613,9 +633,19 @@ type StatsSnapshot struct {
 		// ShardWorkers sums the shard workers used across executed
 		// queries; ParallelQueries counts queries that got more than
 		// one. Together they show how often the shared budget allowed
-		// intra-query fan-out.
+		// intra-query fan-out. Every executed query of every kind
+		// reports its workers through the same QueryStats path, so
+		// ShardWorkers ≥ Executed and the two stay consistent.
 		ShardWorkers    int64 `json:"shard_workers"`
 		ParallelQueries int64 `json:"parallel_queries"`
+		// TopKRounds sums the threshold-growing rounds of executed top-k
+		// queries; ReusedCandidates counts candidates those queries
+		// skipped via cross-round state reuse, and ReusedRatio is
+		// reused / (reused + verified) over top-k queries only, so mixed
+		// workloads don't dilute the driver's reuse metric.
+		TopKRounds       int64   `json:"topk_rounds"`
+		ReusedCandidates int64   `json:"reused_candidates"`
+		ReusedRatio      float64 `json:"reused_ratio"`
 	} `json:"totals"`
 }
 
@@ -657,6 +687,11 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Totals.CellsAvailable = s.stats.cellsAvail.Load()
 	out.Totals.ShardWorkers = s.stats.shardWorkers.Load()
 	out.Totals.ParallelQueries = s.stats.parallelQueries.Load()
+	out.Totals.TopKRounds = s.stats.topkRounds.Load()
+	out.Totals.ReusedCandidates = s.stats.reusedCandidates.Load()
+	if total := out.Totals.ReusedCandidates + s.stats.topkVerified.Load(); total > 0 {
+		out.Totals.ReusedRatio = float64(out.Totals.ReusedCandidates) / float64(total)
+	}
 	if out.Totals.ColumnsAvailable > 0 {
 		out.Totals.UPR = float64(out.Totals.ColumnsVisited) / float64(out.Totals.ColumnsAvailable)
 	}

@@ -312,10 +312,23 @@ func (v *Verifier) Reset(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau
 }
 
 // Verify processes one candidate (Algorithm 4).
-func (v *Verifier) Verify(c Candidate) {
+func (v *Verifier) Verify(c Candidate) { v.VerifyAt(c, v.tau) }
+
+// VerifyAt is Verify under a per-candidate effective threshold tauEff ≤
+// the query τ (larger values are clamped). Matches are enumerated and
+// pruned against tauEff while the trie columns stay banded — and shared
+// across candidates — at the query τ; since banded cells < τ hold exact
+// values and cells ≥ τ are only read through comparisons against
+// thresholds ≤ τ, every tauEff ≤ τ sees exact results. The incremental
+// top-k driver uses this to tighten the search radius mid-round as
+// trajectories resolve, without rebuilding trie state.
+func (v *Verifier) VerifyAt(c Candidate, tauEff float64) {
+	if tauEff > v.tau {
+		tauEff = v.tau
+	}
 	v.Stats.Candidates++
 	if v.opts.Mode == ModeSW {
-		v.verifySW(c.ID)
+		v.verifySW(c.ID, tauEff)
 		return
 	}
 	if c.ID != v.curID {
@@ -327,7 +340,7 @@ func (v *Verifier) Verify(c Candidate) {
 	b := p[j]
 	qSym := v.q[c.IQ]
 	subCost := v.costs.Sub(qSym, b)
-	tauPrime := v.tau - subCost
+	tauPrime := tauEff - subCost
 	v.Stats.ColumnsAvailable += int64(len(p) - 1)
 	if tauPrime <= 0 {
 		return // even a perfect surrounding alignment cannot reach < τ
@@ -382,6 +395,43 @@ func (v *Verifier) Verify(c Candidate) {
 			})
 		}
 	}
+}
+
+// TakeBest reduces the matches buffered since the last flush boundary —
+// with trajectory-grouped input, the current trajectory's raw matches —
+// to the single best by (WED, span length, S, T), clears the buffer, and
+// reports whether any match existed. Raw duplicates of one (S, T) span
+// need no min-merge first: the duplicate holding its span's minimum WED
+// represents the span in this order, so the global raw minimum equals
+// the merged minimum. Drivers that only need per-trajectory bests (the
+// top-k driver) call this after feeding each trajectory's candidates
+// instead of accumulating every match for Results.
+func (v *Verifier) TakeBest() (traj.Match, bool) {
+	if len(v.chunk) == 0 {
+		return traj.Match{}, false
+	}
+	best := v.chunk[0]
+	for _, m := range v.chunk[1:] {
+		if m.WED < best.WED ||
+			(m.WED == best.WED && (m.T-m.S < best.T-best.S ||
+				(m.T-m.S == best.T-best.S && (m.S < best.S || (m.S == best.S && m.T < best.T))))) {
+			best = m
+		}
+	}
+	v.chunk = v.chunk[:0]
+	return best, true
+}
+
+// SnapshotStats returns the verifier's counters with the trie-node total
+// filled in — the same end-of-query accounting Results performs — without
+// ending the query. Drivers that consume per-trajectory bests via
+// TakeBest and never call Results read their per-round stats here.
+func (v *Verifier) SnapshotStats() Stats {
+	s := v.Stats
+	for _, tr := range v.tries {
+		s.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
+	}
+	return s
 }
 
 // flush sorts the current trajectory's raw matches by (S, T) and
@@ -478,8 +528,8 @@ func (v *Verifier) retireTries(tr dirTries) {
 }
 
 // verifySW scans the whole trajectory once per distinct ID, enumerating
-// every match with the exhaustive threshold-aware DP.
-func (v *Verifier) verifySW(id int32) {
+// every match with the exhaustive threshold-aware DP under tauEff.
+func (v *Verifier) verifySW(id int32, tauEff float64) {
 	if v.swSeen[id] {
 		return
 	}
@@ -490,7 +540,7 @@ func (v *Verifier) verifySW(id int32) {
 	}
 	p := v.ds.Path(id)
 	v.Stats.ColumnsAvailable += int64(len(p) - 1)
-	for _, m := range wed.AllMatches(v.costs, v.q, p, v.tau) {
+	for _, m := range wed.AllMatches(v.costs, v.q, p, tauEff) {
 		v.chunk = append(v.chunk, traj.Match{ID: id, S: int32(m.S), T: int32(m.T), WED: m.WED})
 	}
 }

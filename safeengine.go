@@ -75,6 +75,12 @@ func (s *SafeEngine) SearchTopK(q []Symbol, k int) ([]Match, error) {
 	return s.inner.SearchTopK(q, k)
 }
 
+// SearchTopKStats is SearchTopK with options and the driver's merged
+// QueryStats (see Engine.SearchTopKStats), under the read lock.
+func (s *SafeEngine) SearchTopKStats(q []Symbol, k int, opts TopKOptions) ([]Match, *QueryStats, error) {
+	return s.inner.SearchTopKStats(q, k, opts)
+}
+
 // SearchExact answers the exact path query.
 func (s *SafeEngine) SearchExact(q []Symbol) ([]Match, error) {
 	return s.inner.SearchExact(q)

@@ -39,8 +39,12 @@ type (
 	// and filtering costs c(q); engines require it.
 	FilterCosts = wed.FilterCosts
 	// QueryStats instruments one query (time breakdown, candidate count,
-	// verification rates).
+	// verification rates; top-k drivers add rounds, reused candidates,
+	// and the final effective τ).
 	QueryStats = core.QueryStats
+	// TopKOptions tunes the top-k driver (parallelism; Legacy selects
+	// the restart baseline).
+	TopKOptions = core.TopKOptions
 	// VerifyOptions selects verification mode and ablations.
 	VerifyOptions = verify.Options
 	// Workload is a generated synthetic city (graph + trajectories).
