@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
@@ -12,8 +13,17 @@ import (
 
 	"subtraj/internal/core"
 	"subtraj/internal/experiments"
+	"subtraj/internal/geo"
+	"subtraj/internal/mapmatch"
 	"subtraj/internal/workload"
 )
+
+// workloadGPSConfig is the snapshot's trace-synthesis setting: σ=10 m
+// samples every 50 m, no dropouts — the acceptance configuration under
+// which matched queries recover their ground truth.
+func workloadGPSConfig() workload.GPSConfig {
+	return workload.GPSConfig{NoiseSigma: 10, SampleSpacing: 50}
+}
 
 // Perf snapshot mode (-json): instead of the paper-table suite, run the
 // parallel-search sweep (the BenchmarkParallelSearch shape from
@@ -72,6 +82,13 @@ type perfBench struct {
 	// driver's round count and cross-round candidate reuse per query.
 	Rounds           float64 `json:"rounds,omitempty"`
 	ReusedCandidates int64   `json:"reused_candidates,omitempty"`
+	// Accuracy (GPS configurations only) is the mean LCS accuracy of the
+	// map-matched paths against their ground-truth query symbols.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// OverheadVsSymbols, on the GPS/match+search entry, is
+	// ns/op(match+search) ÷ ns/op(symbols-only) — the end-to-end cost of
+	// accepting raw GPS instead of symbols.
+	OverheadVsSymbols float64 `json:"overhead_vs_symbols,omitempty"`
 }
 
 // perfShardCounts is the sweep of BenchmarkParallelSearch.
@@ -156,6 +173,71 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 			legacyNs = bench.NsPerOp
 		} else if bench.NsPerOp > 0 && legacyNs > 0 {
 			bench.SpeedupVsLegacy = float64(legacyNs) / float64(bench.NsPerOp)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, bench)
+	}
+
+	// GPS pipeline configuration: the same queries served from raw GPS
+	// traces (σ=10 m samples of each query's path, matched back onto the
+	// network, then searched) versus symbols-only, plus match-only to
+	// isolate the HMM cost. Sequential single-shard engine so the
+	// overhead ratio is pure pipeline cost.
+	matcher := mapmatch.New(c.W.Graph, mapmatch.Config{})
+	gpsCfg := workloadGPSConfig()
+	rng := rand.New(rand.NewSource(7))
+	traces := make([][]geo.Point, len(queries))
+	var accSum float64
+	for i, q := range queries {
+		traces[i] = workload.GenerateTrace(c.W.Graph, q, gpsCfg, rng).Points
+		res, err := matcher.MatchTrace(traces[i])
+		if err != nil {
+			return fmt.Errorf("GPS trace %d unmatched: %w", i, err)
+		}
+		p, _ := res.Path()
+		accSum += workload.LCSAccuracy(p, q)
+	}
+	accuracy := accSum / float64(len(queries))
+	emptyStats := &core.QueryStats{}
+	var symbolsNs int64
+	for _, d := range []struct {
+		name   string
+		runOne func(i int) (*core.QueryStats, error)
+	}{
+		{"GPS/symbols-only", func(i int) (*core.QueryStats, error) {
+			q := queries[i%len(queries)]
+			_, st, err := engTopK.SearchQuery(core.Query{Q: q, Tau: c.Tau(model, q, tauRatio), Parallelism: 1})
+			return st, err
+		}},
+		{"GPS/match-only", func(i int) (*core.QueryStats, error) {
+			if _, err := matcher.MatchTrace(traces[i%len(traces)]); err != nil {
+				return nil, err
+			}
+			return emptyStats, nil
+		}},
+		{"GPS/match+search", func(i int) (*core.QueryStats, error) {
+			res, err := matcher.MatchTrace(traces[i%len(traces)])
+			if err != nil {
+				return nil, err
+			}
+			q, _ := res.Path()
+			_, st, err := engTopK.SearchQuery(core.Query{Q: q, Tau: c.Tau(model, q, tauRatio), Parallelism: 1})
+			return st, err
+		}},
+	} {
+		fmt.Fprintf(os.Stderr, "[benchall] %s...\n", d.name)
+		bench, err := measureBench(d.name, quick, len(queries), d.runOne)
+		if err != nil {
+			return err
+		}
+		bench.Accuracy = accuracy
+		switch d.name {
+		case "GPS/symbols-only":
+			symbolsNs = bench.NsPerOp
+			bench.Accuracy = 0 // no matching involved
+		case "GPS/match+search":
+			if symbolsNs > 0 && bench.NsPerOp > 0 {
+				bench.OverheadVsSymbols = float64(bench.NsPerOp) / float64(symbolsNs)
+			}
 		}
 		snap.Benchmarks = append(snap.Benchmarks, bench)
 	}

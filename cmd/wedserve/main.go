@@ -7,7 +7,7 @@
 //
 //	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
 //	         [-load workload.gob] [-cache 1024] [-concurrency 0]
-//	         [-shards 0] [-max-parallelism 0]
+//	         [-shards 0] [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
 //
 // Endpoints (all JSON; see internal/server for the full shapes):
 //
@@ -17,9 +17,15 @@
 //	POST /v1/exact     {"q":[...]}
 //	POST /v1/count     {"q":[...]}
 //	POST /v1/append    {"path":[...], "times":[...]}
+//	POST /v1/match     {"trace":[[x,y],...]}
+//	POST /v1/ingest    {"traces":[[[x,y],...],...]}
 //	POST /v1/batch     {"queries":[{"kind":"search", ...}, ...]}
 //	GET  /v1/stats
 //	GET  /healthz
+//
+// Query bodies also accept "trace" in place of "q": the raw GPS samples
+// are map-matched onto the network (tuned by -gps-sigma/-gps-beta) and
+// the matched path is searched.
 package main
 
 import (
@@ -52,6 +58,9 @@ func main() {
 		shards      = flag.Int("shards", 0, "index trajectory shards = per-query parallelism ceiling (0 = one per CPU)")
 		maxPar      = flag.Int("max-parallelism", 0, "cap shard workers per query (0 = min(shards, GOMAXPROCS); 1 = sequential)")
 		maxBatch    = flag.Int("max-batch", 64, "max subqueries per /v1/batch request")
+		gpsSigma    = flag.Float64("gps-sigma", 20, "GPS noise stddev in metres for map matching (0 disables the GPS endpoints)")
+		gpsBeta     = flag.Float64("gps-beta", 50, "map-matching transition tolerance in metres")
+		gpsMaxGap   = flag.Float64("gps-max-gap", 0, "split traces at sample jumps longer than this many metres (0 = stitch any gap)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -105,13 +114,24 @@ func main() {
 	}
 
 	safe := subtraj.NewSafeEngine(eng)
-	srv := server.New(safe.Inner(), server.Config{
+	scfg := server.Config{
 		CacheSize:      *cacheSize,
 		MaxConcurrent:  *concurrency,
 		MaxBatch:       *maxBatch,
 		MaxSymbol:      maxSymbol,
 		MaxParallelism: *maxPar,
-	})
+	}
+	if *gpsSigma > 0 {
+		start = time.Now()
+		matcher := subtraj.NewMapMatcher(w.Graph, subtraj.MapMatchConfig{
+			Sigma:  *gpsSigma,
+			Beta:   *gpsBeta,
+			MaxGap: *gpsMaxGap,
+		})
+		scfg.Matcher = matcher.Internal()
+		log.Printf("  GPS matcher (σ=%gm, β=%gm) built in %s", *gpsSigma, *gpsBeta, time.Since(start).Round(time.Millisecond))
+	}
+	srv := server.New(safe.Inner(), scfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

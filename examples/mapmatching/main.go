@@ -1,7 +1,9 @@
 // Map matching end to end (the paper's §2.1 preprocessing): raw GPS traces
 // are matched onto the road network with an HMM (Newson–Krumm [34]),
 // inserted into the trajectory database, and then found again by a
-// similarity query built from another noisy trace of the same route.
+// similarity query built from another noisy trace of the same route. The
+// trace synthesis, match confidence, gap-splitting, and accuracy scoring
+// shown here are exactly what the GPS-native server pipeline runs.
 //
 //	go run ./examples/mapmatching
 package main
@@ -21,25 +23,39 @@ func main() {
 	matcher := subtraj.NewMapMatcher(w.Graph, subtraj.MapMatchConfig{Sigma: 15})
 	rng := rand.New(rand.NewSource(99))
 
-	// A "vehicle" drives a route twice; we only observe noisy GPS.
+	// A "vehicle" drives a route twice; we only observe noisy GPS samples
+	// every ~40 m with 10 m noise.
 	truth := w.Data.Get(3).Path
+	gps := subtraj.GPSConfig{NoiseSigma: 10, SampleSpacing: 40}
 	fmt.Printf("ground-truth route: %d vertices\n", len(truth))
-	traceA := noisyTrace(w, truth, 10, rng)
-	traceB := noisyTrace(w, truth, 10, rng)
+	traceA := subtraj.GenerateGPSTrace(w.Graph, truth, gps, rng)
+	traceB := subtraj.GenerateGPSTrace(w.Graph, truth, gps, rng)
 
-	// Match both traces onto the network.
-	pathA, err := matcher.Match(traceA)
+	// Match both traces onto the network (one matcher serves any number
+	// of goroutines; MatchBatch fans out internally).
+	items := matcher.MatchBatch([][]subtraj.Point{traceA.Points, traceB.Points}, 0)
+	for i, item := range items {
+		if item.Err != nil {
+			log.Fatal(item.Err)
+		}
+		path, _ := item.Result.Path()
+		fmt.Printf("matched drive %c: %d vertices, confidence %.2f, accuracy %.0f%%\n",
+			'A'+i, len(path), item.Result.Confidence, 100*subtraj.LCSAccuracy(path, truth))
+	}
+	pathA, _ := items[0].Result.Path()
+	pathB, _ := items[1].Result.Path()
+
+	// A trace with a GPS dropout long enough to disconnect does not fail:
+	// it splits into connected sub-paths, each usable on its own.
+	gapMatcher := subtraj.NewMapMatcher(w.Graph, subtraj.MapMatchConfig{Sigma: 15, MaxGap: 250})
+	holey := subtraj.GenerateGPSTrace(w.Graph, truth,
+		subtraj.GPSConfig{NoiseSigma: 10, SampleSpacing: 40, DropoutRate: 0.08, DropoutLen: 10}, rng)
+	res, err := gapMatcher.MatchTrace(holey.Points)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pathB, err := matcher.Match(traceB)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("matched drive A: %d vertices (%d%% of truth recovered)\n",
-		len(pathA), overlapPct(pathA, truth))
-	fmt.Printf("matched drive B: %d vertices (%d%% of truth recovered)\n",
-		len(pathB), overlapPct(pathB, truth))
+	fmt.Printf("dropout trace (%d dropouts): %d segment(s), %d split(s)\n",
+		holey.Dropouts, len(res.Segments), res.Splits)
 
 	// Insert drive A as a new trajectory; query with drive B.
 	eng, err := subtraj.NewEngine(w.Data, net.EDR(100))
@@ -68,31 +84,4 @@ func main() {
 	if !found {
 		fmt.Printf("drive A not among the %d matches (GPS noise exceeded the threshold)\n", len(matches))
 	}
-}
-
-// noisyTrace emits one Gaussian-perturbed GPS sample per route vertex.
-func noisyTrace(w *subtraj.Workload, path []subtraj.Symbol, noise float64, rng *rand.Rand) []subtraj.Point {
-	out := make([]subtraj.Point, len(path))
-	for i, v := range path {
-		p := w.Graph.Coord(v)
-		out[i] = subtraj.Point{X: p.X + rng.NormFloat64()*noise, Y: p.Y + rng.NormFloat64()*noise}
-	}
-	return out
-}
-
-func overlapPct(got, truth []subtraj.Symbol) int {
-	inTruth := map[subtraj.Symbol]bool{}
-	for _, v := range truth {
-		inTruth[v] = true
-	}
-	n := 0
-	for _, v := range got {
-		if inTruth[v] {
-			n++
-		}
-	}
-	if len(got) == 0 {
-		return 0
-	}
-	return 100 * n / len(got)
 }

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"subtraj"
 	"subtraj/internal/server"
@@ -29,8 +30,10 @@ func main() {
 		log.Fatal(err)
 	}
 	safe := subtraj.NewSafeEngine(eng)
+	matcher := subtraj.NewMapMatcher(w.Graph, subtraj.MapMatchConfig{})
 	ts := httptest.NewServer(server.New(safe.Inner(), server.Config{
 		MaxSymbol: int32(w.Graph.NumVertices()),
+		Matcher:   matcher.Internal(),
 	}))
 	defer ts.Close()
 	base := ts.URL
@@ -79,11 +82,49 @@ func main() {
 	post(base+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.2}, &res)
 	fmt.Printf("search after append: %d matches (cached=%v)\n", res.Count, res.Cached)
 
+	// GPS-native clients skip symbols entirely: synthesise a noisy trace
+	// of a known route, match it, ingest it, and query by raw GPS.
+	truth := w.Data.Get(0).Path
+	trace := subtraj.GenerateGPSTrace(w.Graph, truth,
+		subtraj.GPSConfig{NoiseSigma: 10, SampleSpacing: 50}, rand.New(rand.NewSource(2)))
+	pts := make([][2]float64, len(trace.Points))
+	for i, p := range trace.Points {
+		pts[i] = [2]float64{p.X, p.Y}
+	}
+
+	var matched struct {
+		Segments []struct {
+			Symbols []subtraj.Symbol `json:"symbols"`
+		} `json:"segments"`
+		Confidence float64 `json:"confidence"`
+		Splits     int     `json:"splits"`
+	}
+	post(base+"/v1/match", map[string]any{"trace": pts}, &matched)
+	fmt.Printf("match: %d segments, confidence %.2f (truth %d vertices, matched %d)\n",
+		len(matched.Segments), matched.Confidence, len(truth), len(matched.Segments[0].Symbols))
+
+	var ingest struct {
+		Appended   int    `json:"appended"`
+		Generation uint64 `json:"generation"`
+	}
+	post(base+"/v1/ingest", map[string]any{"traces": []any{pts}}, &ingest)
+	fmt.Printf("ingest: %d segment(s) appended (generation %d)\n", ingest.Appended, ingest.Generation)
+
+	var traceRes struct {
+		Count           int     `json:"count"`
+		MatchConfidence float64 `json:"match_confidence"`
+	}
+	post(base+"/v1/search", map[string]any{"trace": pts, "tau_ratio": 0.2}, &traceRes)
+	fmt.Printf("trace search: %d matches (match confidence %.2f)\n", traceRes.Count, traceRes.MatchConfidence)
+
 	// Running counters.
 	var stats server.StatsSnapshot
 	get(base+"/v1/stats", &stats)
 	fmt.Printf("stats: %d searches executed, cache %d hits / %d misses, %d invalidations\n",
 		stats.Totals.Executed, stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Invalidations)
+	fmt.Printf("gps: %d matched, %d split, %d segments ingested, mean match %s\n",
+		stats.GPS.TracesMatched, stats.GPS.TracesSplit, stats.GPS.SegmentsAppended,
+		time.Duration(stats.GPS.MeanMatchNS))
 }
 
 func post(url string, body, dst any) {

@@ -1,0 +1,88 @@
+package index_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"subtraj/internal/index"
+	"subtraj/internal/testutil"
+)
+
+// loadCorpus reads the checked-in seed corpus (a golden-fixture index
+// written by Save).
+func loadCorpus(t testing.TB) []byte {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_index.bin")
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	return data
+}
+
+// TestGoldenIndexCorpusLoads pins the on-disk format: the checked-in
+// corpus file must keep loading bit-identically to a freshly built index,
+// so any serialisation change that breaks old files breaks this test
+// first (and the fuzz corpus stays a valid seed).
+func TestGoldenIndexCorpusLoads(t *testing.T) {
+	data := loadCorpus(t)
+	got, err := index.LoadIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("corpus does not load: %v", err)
+	}
+	want := index.Build(testutil.GoldenDataset())
+	if got.NumPostings() != want.NumPostings() {
+		t.Fatalf("corpus has %d postings, fresh build has %d", got.NumPostings(), want.NumPostings())
+	}
+	for _, p := range testutil.GoldenPaths() {
+		for _, sym := range p {
+			if got.Freq(sym) != want.Freq(sym) {
+				t.Fatalf("Freq(%d) = %d, want %d", sym, got.Freq(sym), want.Freq(sym))
+			}
+		}
+	}
+	// And the corpus re-saves to the identical bytes (deterministic
+	// serialisation).
+	var buf bytes.Buffer
+	if err := got.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("re-saved corpus differs from checked-in bytes")
+	}
+}
+
+// FuzzLoadIndex: malformed input must return an error — never panic, hang,
+// or allocate unboundedly. Inputs that do load must survive a save/load
+// round trip.
+func FuzzLoadIndex(f *testing.F) {
+	valid := loadCorpus(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SUBTRAJIDX1"))       // magic only
+	f.Add(valid[:len(valid)/2])        // truncated
+	f.Add(append([]byte{}, valid[1:]...)) // shifted
+	// Bit-flipped copies of the valid file seed the interesting paths.
+	for _, i := range []int{11, 12, 20, len(valid) - 1} {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	// A header that promises a huge trajectory count then stops: the
+	// loader must fail on EOF without pre-allocating for the promise.
+	f.Add(append([]byte("SUBTRAJIDX1"), 0xff, 0xff, 0xff, 0xff, 0x07))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inv, err := index.LoadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := inv.Save(&buf); err != nil {
+			t.Fatalf("loaded index does not save: %v", err)
+		}
+		if _, err := index.LoadIndex(&buf); err != nil {
+			t.Fatalf("saved copy of loaded index does not load: %v", err)
+		}
+	})
+}

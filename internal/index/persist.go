@@ -93,9 +93,16 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: trajectory count: %w", err)
 	}
-	inv.departures = make([]float64, nTraj)
-	inv.arrivals = make([]float64, nTraj)
-	for i := range inv.departures {
+	if nTraj > math.MaxInt32 {
+		return nil, fmt.Errorf("index: trajectory count %d out of range", nTraj)
+	}
+	// Element counts are untrusted input: never pre-size from them beyond
+	// a fixed cap, or a few corrupt bytes could demand gigabytes before a
+	// single element is read. Growing incrementally bounds memory by the
+	// actual input length (a truncated stream hits EOF first).
+	inv.departures = make([]float64, 0, preallocCap(nTraj, 4096))
+	inv.arrivals = make([]float64, 0, preallocCap(nTraj, 4096))
+	for i := uint64(0); i < nTraj; i++ {
 		d, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("index: departure %d: %w", i, err)
@@ -104,8 +111,8 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: arrival %d: %w", i, err)
 		}
-		inv.departures[i] = math.Float64frombits(d)
-		inv.arrivals[i] = math.Float64frombits(a)
+		inv.departures = append(inv.departures, math.Float64frombits(d))
+		inv.arrivals = append(inv.arrivals, math.Float64frombits(a))
 	}
 	nSyms, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -116,11 +123,17 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: symbol: %w", err)
 		}
+		if sym > math.MaxInt32 {
+			return nil, fmt.Errorf("index: symbol %d out of range", sym)
+		}
+		if _, dup := inv.lists[traj.Symbol(sym)]; dup {
+			return nil, fmt.Errorf("index: duplicate postings list for symbol %d", sym)
+		}
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("index: list length: %w", err)
 		}
-		list := make([]Posting, 0, n)
+		list := make([]Posting, 0, preallocCap(n, 1024))
 		prevID := int32(0)
 		for i := uint64(0); i < n; i++ {
 			d, err := binary.ReadUvarint(br)
@@ -130,6 +143,9 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 			pos, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("index: posting position: %w", err)
+			}
+			if d > math.MaxInt32 || pos > math.MaxInt32 {
+				return nil, fmt.Errorf("index: posting delta %d / position %d out of range", d, pos)
 			}
 			id := prevID + int32(d)
 			if id < 0 || int(id) >= int(nTraj) {
@@ -142,4 +158,13 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 		inv.numPostings += len(list)
 	}
 	return inv, nil
+}
+
+// preallocCap bounds a capacity hint from untrusted input: trust it up to
+// maxTrusted elements, above that grow from a small start.
+func preallocCap(n uint64, maxTrusted uint64) int {
+	if n <= maxTrusted {
+		return int(n)
+	}
+	return int(maxTrusted)
 }

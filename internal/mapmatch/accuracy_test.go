@@ -1,0 +1,265 @@
+package mapmatch_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"subtraj/internal/geo"
+	"subtraj/internal/mapmatch"
+	"subtraj/internal/testutil"
+	"subtraj/internal/workload"
+)
+
+// This file is the closed-loop accuracy harness: noisy GPS traces are
+// synthesised from known ground-truth paths (workload.GenerateTrace),
+// matched back onto the network, and scored with workload.LCSAccuracy.
+// Everything is seeded, so the asserted accuracy floors are deterministic.
+
+// matchAccuracy generates traces for the workload's first n sufficiently
+// long trajectories and returns the mean LCS accuracy of the matched
+// (longest-segment) paths plus bookkeeping about failures and splits.
+func matchAccuracy(t *testing.T, w *workload.Workload, m *mapmatch.Matcher, n int, cfg workload.GPSConfig, seed int64) (acc float64, matched, split int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for id := 0; id < w.Data.Len() && matched < n; id++ {
+		truth := w.Data.Trajs[id].Path
+		if len(truth) < 8 {
+			continue
+		}
+		tr := workload.GenerateTrace(w.Graph, truth, cfg, rng)
+		res, err := m.MatchTrace(tr.Points)
+		if err != nil {
+			t.Fatalf("trajectory %d: MatchTrace: %v", id, err)
+		}
+		if len(res.Segments) == 0 {
+			t.Fatalf("trajectory %d: no segments", id)
+		}
+		for _, seg := range res.Segments {
+			if !w.Graph.IsPath(seg.Path) {
+				t.Fatalf("trajectory %d: segment path not connected", id)
+			}
+			if seg.Confidence <= 0 || seg.Confidence > 1 {
+				t.Fatalf("trajectory %d: confidence %g out of (0,1]", id, seg.Confidence)
+			}
+		}
+		if res.Splits > 0 {
+			split++
+		}
+		path, _ := res.Path()
+		sum += workload.LCSAccuracy(path, truth)
+		matched++
+	}
+	if matched == 0 {
+		t.Fatal("no trajectories long enough to test")
+	}
+	return sum / float64(matched), matched, split
+}
+
+// TestClosedLoopAccuracy is the table-driven accuracy harness across
+// noise, sample-spacing, and dropout levels. The hard floors: ≥90% mean
+// symbol accuracy at σ=20 m (the matcher's design point on 100 m blocks),
+// and graceful degradation — no panics, connected segments, explicit
+// splits — all the way up to σ=80 m.
+func TestClosedLoopAccuracy(t *testing.T) {
+	w := workload.Generate(workload.Tiny(51))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	const traces = 12
+	for _, tc := range []struct {
+		name     string
+		cfg      workload.GPSConfig
+		minAcc   float64 // 0 = only graceful-degradation checks
+		maxSplit int     // -1 = unchecked
+	}{
+		{"sigma8/spacing50", workload.GPSConfig{NoiseSigma: 8, SampleSpacing: 50}, 0.97, 0},
+		{"sigma20/spacing50", workload.GPSConfig{NoiseSigma: 20, SampleSpacing: 50}, 0.90, 0},
+		{"sigma20/spacing100", workload.GPSConfig{NoiseSigma: 20, SampleSpacing: 100}, 0.90, 0},
+		{"sigma20/dropout", workload.GPSConfig{NoiseSigma: 20, SampleSpacing: 50, DropoutRate: 0.05, DropoutLen: 2}, 0.85, -1},
+		{"sigma40/spacing50", workload.GPSConfig{NoiseSigma: 40, SampleSpacing: 50}, 0.60, -1},
+		{"sigma80/spacing50", workload.GPSConfig{NoiseSigma: 80, SampleSpacing: 50}, 0, -1},
+		{"sigma80/dropout", workload.GPSConfig{NoiseSigma: 80, SampleSpacing: 80, DropoutRate: 0.1, DropoutLen: 4}, 0, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			acc, matched, split := matchAccuracy(t, w, m, traces, tc.cfg, 77)
+			t.Logf("mean accuracy %.3f over %d traces (%d split)", acc, matched, split)
+			if acc < tc.minAcc {
+				t.Errorf("mean accuracy %.3f below floor %.2f", acc, tc.minAcc)
+			}
+			if tc.maxSplit >= 0 && split > tc.maxSplit {
+				t.Errorf("%d traces split, want ≤ %d", split, tc.maxSplit)
+			}
+		})
+	}
+}
+
+// TestConfidenceTracksNoise: the reported confidence must order clean
+// traces above noisy ones on the same route.
+func TestConfidenceTracksNoise(t *testing.T) {
+	g := testutil.GoldenNet()
+	m := mapmatch.New(g, mapmatch.Config{})
+	truth := testutil.GoldenPaths()[2] // staircase
+	conf := func(sigma float64) float64 {
+		tr := workload.GenerateTrace(g, truth, workload.GPSConfig{NoiseSigma: sigma, SampleSpacing: 50},
+			rand.New(rand.NewSource(4)))
+		res, err := m.MatchTrace(tr.Points)
+		if err != nil {
+			t.Fatalf("σ=%g: %v", sigma, err)
+		}
+		return res.Confidence
+	}
+	clean, noisy := conf(2), conf(60)
+	if clean <= noisy {
+		t.Errorf("confidence must fall with noise: σ=2 → %.3f, σ=60 → %.3f", clean, noisy)
+	}
+	if clean < 0.9 {
+		t.Errorf("near-noise-free confidence %.3f, want ≥ 0.9", clean)
+	}
+}
+
+// TestGapSplitting: a trace that teleports across the golden grid farther
+// than MaxGap allows must split (MatchTrace) rather than fail, while Match
+// keeps reporting ErrNoPath for the same trace.
+func TestGapSplitting(t *testing.T) {
+	g := testutil.GoldenNet()
+	m := mapmatch.New(g, mapmatch.Config{MaxGap: 300})
+	// Two distant straight runs: row 0 and row 5 — no intermediate
+	// samples, a 500 m teleport between sample groups.
+	v := testutil.GoldenVertex
+	rng := rand.New(rand.NewSource(8))
+	a := workload.GenerateTrace(g, []int32{v(0, 0), v(0, 1), v(0, 2)}, workload.GPSConfig{NoiseSigma: 5}, rng)
+	b := workload.GenerateTrace(g, []int32{v(5, 3), v(5, 4), v(5, 5)}, workload.GPSConfig{NoiseSigma: 5}, rng)
+	trace := append(append([]geo.Point(nil), a.Points...), b.Points...)
+
+	if _, err := m.Match(trace); err == nil {
+		t.Fatal("Match must fail on a broken trace")
+	}
+	res, err := m.MatchTrace(trace)
+	if err != nil {
+		t.Fatalf("MatchTrace: %v", err)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2 (splits=%d)", len(res.Segments), res.Splits)
+	}
+	if res.Splits != 1 {
+		t.Errorf("Splits = %d, want 1", res.Splits)
+	}
+	// Segments cover the whole trace contiguously.
+	if res.Segments[0].First != 0 || res.Segments[1].Last != len(trace)-1 ||
+		res.Segments[0].Last+1 != res.Segments[1].First {
+		t.Errorf("segments don't partition the trace: [%d,%d] [%d,%d] of %d samples",
+			res.Segments[0].First, res.Segments[0].Last,
+			res.Segments[1].First, res.Segments[1].Last, len(trace))
+	}
+	for i, seg := range res.Segments {
+		if !g.IsPath(seg.Path) {
+			t.Errorf("segment %d not a connected path", i)
+		}
+	}
+}
+
+// TestMatchBatch: batch results must equal per-trace results, at every
+// parallelism (the matcher is deterministic, so pooled scratch reuse and
+// concurrency must not change answers).
+func TestMatchBatch(t *testing.T) {
+	w := workload.Generate(workload.Tiny(52))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	traces := make([][]geo.Point, 0, 10)
+	rng := rand.New(rand.NewSource(5))
+	for id := 0; id < w.Data.Len() && len(traces) < 10; id++ {
+		if len(w.Data.Trajs[id].Path) < 6 {
+			continue
+		}
+		tr := workload.GenerateTrace(w.Graph, w.Data.Trajs[id].Path,
+			workload.GPSConfig{NoiseSigma: 15, SampleSpacing: 60}, rng)
+		traces = append(traces, tr.Points)
+	}
+	traces = append(traces, nil) // one bad trace fails alone
+
+	want := make([]mapmatch.BatchItem, len(traces))
+	for i, tr := range traces {
+		want[i].Result, want[i].Err = m.MatchTrace(tr)
+	}
+	for _, par := range []int{1, 4} {
+		got := m.MatchBatch(traces, par)
+		if len(got) != len(want) {
+			t.Fatalf("par=%d: %d items, want %d", par, len(got), len(want))
+		}
+		for i := range got {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("par=%d item %d: err %v, want %v", par, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			if len(got[i].Segments) != len(want[i].Segments) || got[i].Confidence != want[i].Confidence {
+				t.Fatalf("par=%d item %d: result differs from sequential", par, i)
+			}
+			for s := range got[i].Segments {
+				if !equalPath(got[i].Segments[s].Path, want[i].Segments[s].Path) {
+					t.Fatalf("par=%d item %d segment %d: path differs", par, i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentMatching hammers one shared Matcher from many goroutines
+// (run under -race): pooled scratch must never leak state across calls, so
+// every goroutine must keep getting the sequential answer.
+func TestConcurrentMatching(t *testing.T) {
+	w := workload.Generate(workload.Tiny(53))
+	m := mapmatch.New(w.Graph, mapmatch.Config{})
+	rng := rand.New(rand.NewSource(6))
+	type job struct {
+		trace []geo.Point
+		want  []int32
+	}
+	var jobs []job
+	for id := 0; id < w.Data.Len() && len(jobs) < 8; id++ {
+		if len(w.Data.Trajs[id].Path) < 6 {
+			continue
+		}
+		tr := workload.GenerateTrace(w.Graph, w.Data.Trajs[id].Path,
+			workload.GPSConfig{NoiseSigma: 10, SampleSpacing: 50}, rng)
+		res, err := m.MatchTrace(tr.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, _ := res.Path()
+		jobs = append(jobs, job{tr.Points, path})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j := jobs[(g+i)%len(jobs)]
+				res, err := m.MatchTrace(j.trace)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				path, _ := res.Path()
+				if !equalPath(path, j.want) {
+					t.Errorf("goroutine %d: concurrent result differs from sequential", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func equalPath(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,11 +9,22 @@
 // route distance between the candidate vertices. Viterbi decoding yields
 // the most likely vertex sequence, which is stitched into a connected path
 // with shortest-path segments.
+//
+// A Matcher is safe for concurrent use: the graph, spatial index, and
+// adjacency are read-only after construction, and all per-call state
+// (Viterbi layers, Dijkstra arrays, priority queue) lives in pooled
+// scratch following the verify.Verifier Get/Put pattern. MatchTrace
+// additionally survives GPS dropouts by gap-splitting: when no candidate
+// transition connects two consecutive samples (an HMM break), the trace is
+// split there and each side is decoded into its own connected sub-path
+// instead of failing the whole trace.
 package mapmatch
 
 import (
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 
 	"subtraj/internal/geo"
 	"subtraj/internal/roadnet"
@@ -34,6 +45,12 @@ type Config struct {
 	// MaxRouteFactor prunes transitions whose route distance exceeds
 	// this multiple of (displacement + Beta). Default 4.
 	MaxRouteFactor float64
+	// MaxGap, when positive, treats any displacement between consecutive
+	// samples larger than this (metres) as a GPS dropout: the trace is
+	// split there (MatchTrace) instead of stitching an unobserved route
+	// across the gap. 0 disables the check — gaps are stitched whenever a
+	// route within MaxRouteFactor exists.
+	MaxGap float64
 }
 
 func (c Config) withDefaults() Config {
@@ -52,108 +69,216 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Matcher matches GPS traces onto one road network.
+// Matcher matches GPS traces onto one road network. All methods are safe
+// for concurrent use.
 type Matcher struct {
 	g    *roadnet.Graph
 	adj  *shortestpath.Adjacency
 	tree *spatial.KDTree
 	cfg  Config
+	// scratch recycles per-call state; each call Gets one scratch, so
+	// concurrent calls never share mutable state.
+	scratch sync.Pool
 }
 
 // New builds a matcher over g.
 func New(g *roadnet.Graph, cfg Config) *Matcher {
-	return &Matcher{
+	m := &Matcher{
 		g:    g,
 		adj:  shortestpath.FromGraph(g),
 		tree: spatial.Build(g.Coords()),
 		cfg:  cfg.withDefaults(),
 	}
+	m.scratch.New = func() any { return new(matchScratch) }
+	return m
 }
 
-// ErrNoPath is returned when no candidate sequence is connected.
+// Graph returns the road network the matcher was built over (read-only).
+func (m *Matcher) Graph() *roadnet.Graph { return m.g }
+
+// Config returns the matcher's resolved configuration (defaults applied).
+func (m *Matcher) Config() Config { return m.cfg }
+
+// ErrNoPath is returned by Match when the trace cannot be explained by a
+// single connected candidate path (an HMM break). MatchTrace never returns
+// it: breaks become segment splits there.
 var ErrNoPath = errors.New("mapmatch: no connected candidate path")
 
-// Match maps a GPS trace to a vertex path on the network. The result is a
-// connected path (consecutive vertices joined by edges); repeated vertices
-// from slow traces are collapsed.
+// ErrEmptyTrace is returned for traces with no samples.
+var ErrEmptyTrace = errors.New("mapmatch: empty trace")
+
+// Segment is one connected sub-path of a matched trace. A trace without
+// GPS dropouts yields exactly one segment covering every sample.
+type Segment struct {
+	// Path is the connected vertex path (consecutive vertices joined by
+	// edges; stationary duplicates collapsed).
+	Path []roadnet.VertexID
+	// First and Last are the inclusive sample-index range of the trace
+	// this segment explains.
+	First, Last int
+	// Confidence is the mean per-sample emission likelihood of the
+	// matched geometry, in (0, 1]: each sample contributes
+	// exp(-d²/2σ²) where d is its distance to the decoded path's
+	// polyline near that sample. ~1 when the samples lie on the matched
+	// route; it decays with GPS noise (d ≈ σ_noise gives ~exp(-σ²ₙ/2σ²)).
+	Confidence float64
+}
+
+// Result is a matched trace: one segment per connected stretch.
+type Result struct {
+	Segments []Segment
+	// Confidence is the sample-weighted mean of the segment confidences.
+	Confidence float64
+	// Splits counts HMM breaks, i.e. len(Segments)-1.
+	Splits int
+}
+
+// Path returns the longest segment's path (the whole matched path for a
+// split-free trace); ok reports whether the match was split-free.
+func (r Result) Path() (path []roadnet.VertexID, ok bool) {
+	if len(r.Segments) == 0 {
+		return nil, false
+	}
+	best := 0
+	for i := range r.Segments {
+		if len(r.Segments[i].Path) > len(r.Segments[best].Path) {
+			best = i
+		}
+	}
+	return r.Segments[best].Path, len(r.Segments) == 1
+}
+
+// Match maps a GPS trace to a single connected vertex path on the network.
+// It fails with ErrNoPath when the trace has an HMM break (use MatchTrace
+// to recover the connected sub-paths instead).
 func (m *Matcher) Match(trace []geo.Point) ([]roadnet.VertexID, error) {
+	res, err := m.MatchTrace(trace)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Segments) != 1 {
+		return nil, ErrNoPath
+	}
+	return res.Segments[0].Path, nil
+}
+
+// MatchTrace maps a GPS trace onto the network, splitting at HMM breaks:
+// every sample is explained by exactly one segment, and each segment's
+// path is connected. It fails only on an empty trace or an empty network.
+func (m *Matcher) MatchTrace(trace []geo.Point) (Result, error) {
 	if len(trace) == 0 {
-		return nil, errors.New("mapmatch: empty trace")
+		return Result{}, ErrEmptyTrace
 	}
-	type state struct {
-		v       int32
-		logp    float64
-		backptr int
-		// route holds the vertex path (excluding the previous state's
-		// vertex) taken from the backptr state to this one.
-		route []int32
+	if m.g.NumVertices() == 0 {
+		return Result{}, errors.New("mapmatch: empty road network")
 	}
-	emit := func(p geo.Point, v int32) float64 {
-		d2 := p.Dist2(m.g.Coord(v))
-		return -d2 / (2 * m.cfg.Sigma * m.cfg.Sigma)
-	}
-	cands := func(p geo.Point) []int32 {
-		return m.tree.KNearest(p, m.cfg.MaxCandidates)
-	}
+	sc := m.scratch.Get().(*matchScratch)
+	sc.prepare(m.g.NumVertices())
 
-	prev := make([]state, 0, m.cfg.MaxCandidates)
-	for _, v := range cands(trace[0]) {
-		prev = append(prev, state{v: v, logp: emit(trace[0], v), backptr: -1})
+	var res Result
+	start := 0
+	for start < len(trace) {
+		seg, next := m.decodeSegment(trace, start, sc)
+		res.Segments = append(res.Segments, seg)
+		start = next
 	}
-	layers := make([][]state, 1, len(trace))
-	layers[0] = prev
+	m.scratch.Put(sc)
+	res.Splits = len(res.Segments) - 1
+	var confSum float64
+	for _, s := range res.Segments {
+		confSum += s.Confidence * float64(s.Last-s.First+1)
+	}
+	res.Confidence = confSum / float64(len(trace))
+	return res, nil
+}
 
-	for i := 1; i < len(trace); i++ {
-		displacement := trace[i].Dist(trace[i-1])
-		maxRoute := m.cfg.MaxRouteFactor * (displacement + m.cfg.Beta)
-		var cur []state
-		for _, v := range cands(trace[i]) {
-			best := state{v: v, logp: math.Inf(-1), backptr: -1}
-			for pi := range prev {
-				if math.IsInf(prev[pi].logp, -1) {
-					continue
-				}
-				route, routeDist := m.route(prev[pi].v, v, maxRoute)
-				if route == nil && prev[pi].v != v {
-					continue
-				}
-				trans := -math.Abs(routeDist-displacement) / m.cfg.Beta
-				lp := prev[pi].logp + trans
-				if lp > best.logp {
-					best.logp = lp
-					best.backptr = pi
-					best.route = route
-				}
-			}
-			if best.backptr >= 0 {
-				best.logp += emit(trace[i], v)
-				cur = append(cur, best)
-			}
+// BatchItem is one trace's outcome inside MatchBatch.
+type BatchItem struct {
+	Result
+	Err error
+}
+
+// MatchBatch matches several traces, fanning out over up to parallelism
+// workers (<= 0 selects GOMAXPROCS). Results are in input order.
+func (m *Matcher) MatchBatch(traces [][]geo.Point, parallelism int) []BatchItem {
+	out := make([]BatchItem, len(traces))
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(traces) {
+		parallelism = len(traces)
+	}
+	if parallelism <= 1 {
+		for i, tr := range traces {
+			out[i].Result, out[i].Err = m.MatchTrace(tr)
 		}
+		return out
+	}
+	var wg sync.WaitGroup
+	tasks := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				out[i].Result, out[i].Err = m.MatchTrace(traces[i])
+			}
+		}()
+	}
+	for i := range traces {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	return out
+}
+
+// --- Viterbi decoding -----------------------------------------------------
+
+// vstate is one candidate vertex in one Viterbi layer.
+type vstate struct {
+	v       int32
+	logp    float64
+	backptr int32
+	// route holds the vertex path (excluding the previous state's vertex)
+	// taken from the backptr state to this one.
+	route []int32
+}
+
+// decodeSegment runs Viterbi from sample index start until the trace ends
+// or an HMM break occurs, and returns the decoded segment plus the index
+// the next segment starts at.
+func (m *Matcher) decodeSegment(trace []geo.Point, start int, sc *matchScratch) (Segment, int) {
+	sc.pushLayer(m.initialLayer(trace[start], sc))
+	end := start // inclusive last sample decoded
+	for i := start + 1; i < len(trace); i++ {
+		cur := m.nextLayer(trace[i], trace[i-1], sc.layers[len(sc.layers)-1], sc)
 		if len(cur) == 0 {
-			// HMM break (paper's real traces have them too); restart
-			// from scratch at this sample — the caller receives the
-			// longest decoded head. We choose to fail instead: the
-			// synthetic traces are dense enough that a break indicates
-			// misuse.
-			return nil, ErrNoPath
+			// HMM break: no candidate of sample i connects to any live
+			// state of sample i-1 (a GPS dropout, teleport, or off-network
+			// stretch). Close this segment and restart at i.
+			sc.freeLayers = append(sc.freeLayers, cur)
+			break
 		}
-		layers = append(layers, cur)
-		prev = cur
+		sc.pushLayer(cur)
+		end = i
 	}
+	layers := sc.layers
+	defer sc.recycleLayers()
 
 	// Backtrack from the best final state.
 	last := layers[len(layers)-1]
-	bi := 0
+	bi := int32(0)
 	for i := range last {
 		if last[i].logp > last[bi].logp {
-			bi = i
+			bi = int32(i)
 		}
 	}
-	var rev [][]int32 // route fragments in reverse layer order
+	nL := len(layers)
+	rev := sc.rev[:0] // route fragments in reverse layer order
 	var headV int32
-	for li := len(layers) - 1; li >= 0; li-- {
-		st := layers[li][bi]
+	for li := nL - 1; li >= 0; li-- {
+		st := &layers[li][bi]
 		if li > 0 {
 			rev = append(rev, st.route)
 			bi = st.backptr
@@ -161,10 +286,19 @@ func (m *Matcher) Match(trace []geo.Point) ([]roadnet.VertexID, error) {
 			headV = st.v
 		}
 	}
-	path := []int32{headV}
+	sc.rev = rev[:0]
+	// Stitch the path and record each layer's anchor — the index of its
+	// decoded vertex within the stitched path — for the confidence pass.
+	path := make([]int32, 0, nL)
+	path = append(path, headV)
+	anchors := sc.anchors[:0]
+	anchors = append(anchors, 0)
 	for i := len(rev) - 1; i >= 0; i-- {
 		path = append(path, rev[i]...)
+		anchors = append(anchors, len(path)-1)
 	}
+	sc.anchors = anchors
+	conf := m.confidence(trace[start:start+nL], path, anchors)
 	// Collapse consecutive duplicates (stationary samples).
 	out := path[:1]
 	for _, v := range path[1:] {
@@ -172,55 +306,213 @@ func (m *Matcher) Match(trace []geo.Point) ([]roadnet.VertexID, error) {
 			out = append(out, v)
 		}
 	}
-	return out, nil
+	return Segment{
+		Path:       out,
+		First:      start,
+		Last:       end,
+		Confidence: conf,
+	}, end + 1
 }
 
+// confidence scores how well the samples sit on the decoded path: the mean
+// Gaussian emission likelihood exp(-d²/2σ²) of each sample's distance d to
+// the path polyline between its neighbouring anchors. Samples on the
+// matched geometry score ~1 regardless of where along an edge they fall;
+// the score decays with the actual GPS residual.
+func (m *Matcher) confidence(samples []geo.Point, path []int32, anchors []int) float64 {
+	var sum float64
+	for li, p := range samples {
+		lo, hi := anchors[li], anchors[li]
+		if li > 0 {
+			lo = anchors[li-1]
+		}
+		if li+1 < len(anchors) {
+			hi = anchors[li+1]
+		}
+		var d float64
+		if lo == hi {
+			d = p.Dist(m.g.Coord(path[lo]))
+		} else {
+			d = math.Inf(1)
+			for k := lo; k < hi; k++ {
+				dist, _ := geo.SegmentDist(p, m.g.Coord(path[k]), m.g.Coord(path[k+1]))
+				if dist < d {
+					d = dist
+				}
+			}
+		}
+		sum += math.Exp(-d * d / (2 * m.cfg.Sigma * m.cfg.Sigma))
+	}
+	return sum / float64(len(samples))
+}
+
+// initialLayer seeds the Viterbi lattice at one sample.
+func (m *Matcher) initialLayer(p geo.Point, sc *matchScratch) []vstate {
+	layer := sc.takeLayer(m.cfg.MaxCandidates)
+	sc.cands = m.tree.KNearestInto(p, m.cfg.MaxCandidates, &sc.knn, sc.cands[:0])
+	for _, v := range sc.cands {
+		layer = append(layer, vstate{v: v, logp: m.emit(p, v), backptr: -1})
+	}
+	return layer
+}
+
+// nextLayer advances the lattice by one sample, connecting each candidate
+// of p to the best-scoring predecessor state via a bounded shortest path.
+func (m *Matcher) nextLayer(p, prevP geo.Point, prev []vstate, sc *matchScratch) []vstate {
+	displacement := p.Dist(prevP)
+	cur := sc.takeLayer(m.cfg.MaxCandidates)
+	if m.cfg.MaxGap > 0 && displacement > m.cfg.MaxGap {
+		// Implausible jump: report an HMM break rather than hallucinate a
+		// long unobserved route across the dropout.
+		return cur
+	}
+	maxRoute := m.cfg.MaxRouteFactor * (displacement + m.cfg.Beta)
+	sc.cands = m.tree.KNearestInto(p, m.cfg.MaxCandidates, &sc.knn, sc.cands[:0])
+	for _, v := range sc.cands {
+		best := vstate{v: v, logp: math.Inf(-1), backptr: -1}
+		for pi := range prev {
+			if math.IsInf(prev[pi].logp, -1) {
+				continue
+			}
+			route, routeDist, ok := m.route(prev[pi].v, v, maxRoute, sc)
+			if !ok {
+				continue
+			}
+			trans := -math.Abs(routeDist-displacement) / m.cfg.Beta
+			lp := prev[pi].logp + trans
+			if lp > best.logp {
+				best.logp = lp
+				best.backptr = int32(pi)
+				best.route = route
+			}
+		}
+		if best.backptr >= 0 {
+			best.logp += m.emit(p, v)
+			cur = append(cur, best)
+		}
+	}
+	return cur
+}
+
+func (m *Matcher) emit(p geo.Point, v int32) float64 {
+	d2 := p.Dist2(m.g.Coord(v))
+	return -d2 / (2 * m.cfg.Sigma * m.cfg.Sigma)
+}
+
+// --- bounded shortest paths ----------------------------------------------
+
 // route returns the shortest vertex path from a to b (excluding a) and its
-// length, or (nil, 0) when b is unreachable within maxDist. a == b yields
-// an empty route of length 0.
-func (m *Matcher) route(a, b int32, maxDist float64) ([]int32, float64) {
+// length; ok is false when b is unreachable within maxDist. a == b yields
+// an empty route of length 0. The returned slice is freshly allocated (it
+// may be retained by the caller's decoded path).
+func (m *Matcher) route(a, b int32, maxDist float64, sc *matchScratch) (path []int32, dist float64, ok bool) {
 	if a == b {
-		return []int32{}, 0
+		return nil, 0, true
 	}
-	// Bounded Dijkstra with parent tracking.
-	type rec struct {
-		d      float64
-		parent int32
+	// Bounded Dijkstra over epoch-stamped pooled arrays: no per-call maps.
+	sc.epoch++
+	if sc.epoch == 0 {
+		// uint32 wrap: every stale stamp would read as current. Wipe the
+		// stamp arrays (once per ~4 billion route queries) and restart.
+		clear(sc.seen)
+		clear(sc.settled)
+		sc.epoch = 1
 	}
-	settled := map[int32]rec{}
-	dist := map[int32]rec{a: {0, -1}}
-	q := &boundedPQ{}
+	sc.visit(a, 0, -1)
+	q := &sc.pq
+	q.reset()
 	q.push(a, 0)
 	for q.len() > 0 {
 		v, d := q.pop()
-		if r, ok := settled[v]; ok && r.d <= d {
+		if sc.settled[v] == sc.epoch {
 			continue
 		}
-		settled[v] = rec{d, dist[v].parent}
+		sc.settled[v] = sc.epoch
 		if v == b {
-			// Reconstruct.
-			var path []int32
-			for x := b; x != a; x = settled[x].parent {
+			// Reconstruct (b back to a, excluding a), then reverse.
+			for x := b; x != a; x = sc.parent[x] {
 				path = append(path, x)
 			}
 			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 				path[i], path[j] = path[j], path[i]
 			}
-			return path, d
+			return path, d, true
 		}
 		if d > maxDist {
-			return nil, 0
+			return nil, 0, false
 		}
 		heads, ws := m.adj.Neighbors(v)
 		for i, w := range heads {
 			nd := d + ws[i]
-			if r, ok := dist[w]; !ok || nd < r.d {
-				dist[w] = rec{nd, v}
+			if sc.seen[w] != sc.epoch || nd < sc.dist[w] {
+				sc.visit(w, nd, v)
 				q.push(w, nd)
 			}
 		}
 	}
-	return nil, 0
+	return nil, 0, false
+}
+
+// matchScratch is the pooled per-call state of one Match/MatchTrace call.
+type matchScratch struct {
+	// Viterbi lattice of the segment being decoded, plus a free list of
+	// recycled layer slices and the k-NN candidate buffer.
+	layers     [][]vstate
+	freeLayers [][]vstate
+	rev        [][]int32
+	anchors    []int
+	cands      []int32
+	knn        spatial.KNN
+	// Dijkstra arrays, epoch-stamped so clearing is O(1) per route call.
+	dist    []float64
+	parent  []int32
+	seen    []uint32 // seen[v] == epoch: dist/parent valid
+	settled []uint32 // settled[v] == epoch: v finalized
+	epoch   uint32
+	pq      boundedPQ
+}
+
+// prepare sizes the Dijkstra arrays for an n-vertex network and resets the
+// lattice. Epoch stamping survives across calls; wrap-around is handled at
+// the increment site in route (stamps are wiped when the epoch cycles).
+func (sc *matchScratch) prepare(n int) {
+	if len(sc.seen) < n {
+		sc.dist = make([]float64, n)
+		sc.parent = make([]int32, n)
+		sc.seen = make([]uint32, n)
+		sc.settled = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.layers = sc.layers[:0]
+	sc.rev = sc.rev[:0]
+}
+
+func (sc *matchScratch) visit(v int32, d float64, parent int32) {
+	sc.dist[v] = d
+	sc.parent[v] = parent
+	sc.seen[v] = sc.epoch
+}
+
+// takeLayer returns an empty layer slice, recycling one when available.
+func (sc *matchScratch) takeLayer(capHint int) []vstate {
+	if n := len(sc.freeLayers); n > 0 {
+		l := sc.freeLayers[n-1]
+		sc.freeLayers = sc.freeLayers[:n-1]
+		return l[:0]
+	}
+	return make([]vstate, 0, capHint)
+}
+
+// pushLayer appends a finished layer to the current segment's lattice.
+func (sc *matchScratch) pushLayer(l []vstate) {
+	sc.layers = append(sc.layers, l)
+}
+
+// recycleLayers moves the current lattice's layers onto the free list once
+// a segment has been decoded (the decoded path copies what it needs).
+func (sc *matchScratch) recycleLayers() {
+	sc.freeLayers = append(sc.freeLayers, sc.layers...)
+	sc.layers = sc.layers[:0]
 }
 
 // boundedPQ is a tiny binary heap keyed by distance.
@@ -230,6 +522,11 @@ type boundedPQ struct {
 }
 
 func (q *boundedPQ) len() int { return len(q.vs) }
+
+func (q *boundedPQ) reset() {
+	q.vs = q.vs[:0]
+	q.ds = q.ds[:0]
+}
 
 func (q *boundedPQ) push(v int32, d float64) {
 	q.vs = append(q.vs, v)

@@ -58,6 +58,25 @@ func (s *SafeEngine) Append(t traj.Trajectory) int32 {
 	return id
 }
 
+// AppendBatch indexes several trajectories under one write-lock
+// acquisition and returns their IDs in order. The generation advances by
+// len(ts), so each appended trajectory invalidates caches exactly as if
+// appended alone — but concurrent searches are blocked only once. The
+// GPS ingestion path appends each matched trace's segments through this.
+func (s *SafeEngine) AppendBatch(ts []traj.Trajectory) []int32 {
+	if len(ts) == 0 {
+		return nil
+	}
+	ids := make([]int32, len(ts))
+	s.mu.Lock()
+	for i := range ts {
+		ids[i] = s.eng.Append(ts[i])
+	}
+	s.gen.Add(uint64(len(ts)))
+	s.mu.Unlock()
+	return ids
+}
+
 // NumTrajectories returns the current dataset size.
 func (s *SafeEngine) NumTrajectories() int {
 	s.mu.RLock()

@@ -13,6 +13,7 @@ import (
 
 	"subtraj/internal/core"
 	"subtraj/internal/filter"
+	"subtraj/internal/mapmatch"
 	"subtraj/internal/traj"
 )
 
@@ -49,6 +50,15 @@ type Config struct {
 	// exceeds MaxConcurrent regardless of how requests and shards mix.
 	// 1 forces the sequential path.
 	MaxParallelism int
+	// Matcher enables the GPS-native surface: POST /v1/match, POST
+	// /v1/ingest, and the "trace" alternative to "q" on query bodies.
+	// It must be built over the same road network as the engine's
+	// dataset. nil leaves GPS requests answering 501.
+	Matcher *mapmatch.Matcher
+	// MaxTraceLen rejects raw GPS traces with more samples than this
+	// (0 = default 16384). Traces oversample paths (several samples per
+	// edge), so the cap is independent of MaxQueryLen.
+	MaxTraceLen int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +80,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxTraceLen <= 0 {
+		c.MaxTraceLen = 16384
+	}
 	return c
 }
 
@@ -81,20 +94,26 @@ func (c Config) withDefaults() Config {
 //	POST /v1/exact     exact subtrajectory matches
 //	POST /v1/count     exact-occurrence count (path popularity)
 //	POST /v1/append    index one more trajectory
+//	POST /v1/match     map-match a raw GPS trace to network symbols
+//	POST /v1/ingest    batch of raw traces → match → append segments
 //	POST /v1/batch     several of the above in one request
-//	GET  /v1/stats     running counters (queries, cache, pool, engine)
+//	GET  /v1/stats     running counters (queries, cache, pool, GPS, engine)
 //	GET  /healthz      liveness probe
+//
+// Query bodies accept "trace" (raw GPS samples, [[x,y],...]) in place of
+// "q" when the server was built with a map matcher.
 //
 // All request and response bodies are JSON. Client errors (malformed
 // JSON, validation failures, infeasible τ) map to 400; pool saturation
 // past the request deadline maps to 503; everything else to 500.
 type Server struct {
-	eng   *SafeEngine
-	cache *resultCache
-	pool  *workerPool
-	cfg   Config
-	mux   *http.ServeMux
-	stats counters
+	eng     *SafeEngine
+	cache   *resultCache
+	pool    *workerPool
+	matcher *mapmatch.Matcher
+	cfg     Config
+	mux     *http.ServeMux
+	stats   counters
 }
 
 // counters aggregates per-endpoint request counts and the engine's
@@ -103,6 +122,7 @@ type counters struct {
 	start time.Time
 
 	search, topk, temporal, exact, count, appendN, batch atomic.Int64
+	match, ingest                                        atomic.Int64
 	errors                                               atomic.Int64
 	executed                                             atomic.Int64 // engine-run (non-cached) queries
 
@@ -113,16 +133,22 @@ type counters struct {
 	shardWorkers, parallelQueries         atomic.Int64
 	topkRounds, reusedCandidates          atomic.Int64
 	topkVerified                          atomic.Int64
+
+	// GPS pipeline counters (see gps.go).
+	tracesMatched, tracesFailed, tracesSplit atomic.Int64
+	segmentsAppended, traceQueries           atomic.Int64
+	matchNS                                  atomic.Int64
 }
 
 // New builds a Server over eng.
 func New(eng *SafeEngine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		eng:   eng,
-		cache: newResultCache(cfg.CacheSize),
-		pool:  newWorkerPool(cfg.MaxConcurrent),
-		cfg:   cfg,
+		eng:     eng,
+		cache:   newResultCache(cfg.CacheSize),
+		pool:    newWorkerPool(cfg.MaxConcurrent),
+		matcher: cfg.Matcher,
+		cfg:     cfg,
 	}
 	s.stats.start = time.Now()
 	s.mux = http.NewServeMux()
@@ -132,6 +158,8 @@ func New(eng *SafeEngine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/exact", s.handleQuery("exact", &s.stats.exact))
 	s.mux.HandleFunc("POST /v1/count", s.handleQuery("count", &s.stats.count))
 	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -151,10 +179,14 @@ func (s *Server) Engine() *SafeEngine { return s.eng }
 // --- request / response shapes ------------------------------------------
 
 // queryRequest is the body of every read endpoint; Kind selects the
-// operation inside /v1/batch (the dedicated endpoints fix it).
+// operation inside /v1/batch (the dedicated endpoints fix it). Exactly
+// one of Q and Trace identifies the query: Trace is a raw GPS trace that
+// is map-matched first (its longest connected segment becomes the symbol
+// query), so GPS-native clients query without speaking vertex IDs.
 type queryRequest struct {
 	Kind     string        `json:"kind,omitempty"`
 	Q        []traj.Symbol `json:"q"`
+	Trace    []tracePoint  `json:"trace,omitempty"`
 	Tau      float64       `json:"tau,omitempty"`
 	TauRatio float64       `json:"tau_ratio,omitempty"`
 	K        int           `json:"k,omitempty"`
@@ -192,6 +224,11 @@ type queryResponse struct {
 	Tau     float64         `json:"tau,omitempty"` // resolved absolute τ
 	Cached  bool            `json:"cached"`
 	Stats   *queryStatsJSON `json:"stats,omitempty"`
+	// GPS trace queries only: the symbols the trace resolved to and the
+	// match quality, so clients can audit what was actually searched.
+	ResolvedQ       []traj.Symbol `json:"resolved_q,omitempty"`
+	MatchConfidence float64       `json:"match_confidence,omitempty"`
+	MatchSplits     int           `json:"match_splits,omitempty"`
 }
 
 // httpError carries the status a handler should answer with.
@@ -313,8 +350,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // --- query execution -----------------------------------------------------
 
 // execute validates req, consults the cache, and otherwise runs the query
-// inside a worker-pool slot.
+// inside a worker-pool slot. A raw GPS trace is map-matched to symbols
+// first (inside its own pool slot), after which the request is
+// indistinguishable from a symbol query — including its cache key, so a
+// trace query and its ground-truth symbol query share cache entries.
 func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse, error) {
+	var matched *mapmatch.Result
+	if len(req.Trace) > 0 {
+		var err error
+		if matched, err = s.resolveTrace(ctx, req); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.validateQuery(req); err != nil {
 		return nil, err
 	}
@@ -354,6 +401,7 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		if req.Kind != "count" {
 			resp.Matches = toMatchJSON(ent.matches)
 		}
+		attachMatchMeta(resp, req, matched)
 		return resp, nil
 	}
 
@@ -423,6 +471,7 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	if req.Kind != "count" {
 		resp.Matches = toMatchJSON(matches)
 	}
+	attachMatchMeta(resp, req, matched)
 	if qstats != nil {
 		resp.Stats = &queryStatsJSON{
 			SubseqLen:        qstats.SubseqLen,
@@ -477,7 +526,7 @@ func (s *Server) validateQuery(req *queryRequest) error {
 		return badRequest("unknown query kind %q", req.Kind)
 	}
 	if len(req.Q) == 0 {
-		return badRequest("empty query q")
+		return badRequest("empty query: provide q (symbols) or trace (GPS samples)")
 	}
 	if len(req.Q) > s.cfg.MaxQueryLen {
 		return badRequest("query of %d symbols exceeds limit %d", len(req.Q), s.cfg.MaxQueryLen)
@@ -595,9 +644,26 @@ type StatsSnapshot struct {
 		Exact    int64 `json:"exact"`
 		Count    int64 `json:"count"`
 		Append   int64 `json:"append"`
+		Match    int64 `json:"match"`
+		Ingest   int64 `json:"ingest"`
 		Batch    int64 `json:"batch"`
 		Errors   int64 `json:"errors"`
 	} `json:"requests"`
+	// GPS aggregates the map-matching pipeline: every matcher run —
+	// whether from /v1/match, /v1/ingest, or a trace-carrying query —
+	// lands in exactly one of TracesMatched/TracesFailed, and MatchNS
+	// sums wall-clock matching time (MeanMatchNS = MatchNS over both
+	// outcomes).
+	GPS struct {
+		Enabled          bool  `json:"enabled"`
+		TracesMatched    int64 `json:"traces_matched"`
+		TracesFailed     int64 `json:"traces_failed"`
+		TracesSplit      int64 `json:"traces_split"`
+		SegmentsAppended int64 `json:"segments_appended"`
+		TraceQueries     int64 `json:"trace_queries"`
+		MatchNS          int64 `json:"match_ns"`
+		MeanMatchNS      int64 `json:"mean_match_ns"`
+	} `json:"gps"`
 	Cache struct {
 		Size          int   `json:"size"`
 		Capacity      int   `json:"capacity"`
@@ -662,8 +728,20 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Requests.Exact = s.stats.exact.Load()
 	out.Requests.Count = s.stats.count.Load()
 	out.Requests.Append = s.stats.appendN.Load()
+	out.Requests.Match = s.stats.match.Load()
+	out.Requests.Ingest = s.stats.ingest.Load()
 	out.Requests.Batch = s.stats.batch.Load()
 	out.Requests.Errors = s.stats.errors.Load()
+	out.GPS.Enabled = s.matcher != nil
+	out.GPS.TracesMatched = s.stats.tracesMatched.Load()
+	out.GPS.TracesFailed = s.stats.tracesFailed.Load()
+	out.GPS.TracesSplit = s.stats.tracesSplit.Load()
+	out.GPS.SegmentsAppended = s.stats.segmentsAppended.Load()
+	out.GPS.TraceQueries = s.stats.traceQueries.Load()
+	out.GPS.MatchNS = s.stats.matchNS.Load()
+	if runs := out.GPS.TracesMatched + out.GPS.TracesFailed; runs > 0 {
+		out.GPS.MeanMatchNS = out.GPS.MatchNS / runs
+	}
 	out.Cache.Size = s.cache.len()
 	out.Cache.Capacity = s.cfg.CacheSize
 	out.Cache.Hits = s.cache.hits.Load()
@@ -734,6 +812,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// attachMatchMeta copies trace-resolution metadata onto a query response
+// (no-op for symbol queries).
+func attachMatchMeta(resp *queryResponse, req *queryRequest, matched *mapmatch.Result) {
+	if matched == nil {
+		return
+	}
+	resp.ResolvedQ = req.Q
+	resp.MatchConfidence = matched.Confidence
+	resp.MatchSplits = matched.Splits
 }
 
 func toMatchJSON(ms []traj.Match) []matchJSON {

@@ -166,10 +166,27 @@ func (t *KDTree) nearestBeyond2(q geo.Point, min2 float64) (int32, float64) {
 // KNearest returns the indexes of the k points closest to q, ordered by
 // ascending distance. If fewer than k points are indexed, all are returned.
 func (t *KDTree) KNearest(q geo.Point, k int) []int32 {
+	var knn KNN
+	return t.KNearestInto(q, k, &knn, nil)
+}
+
+// KNN is reusable scratch for KNearestInto: hot callers (the map-matching
+// HMM issues one k-NN query per GPS sample) keep one per goroutine so
+// repeated queries allocate nothing beyond the result slice they also own.
+type KNN struct {
+	h distHeap
+}
+
+// KNearestInto appends the indexes of the k points closest to q to dst in
+// ascending distance order and returns the extended slice, reusing knn's
+// internal heap. If fewer than k points are indexed, all are appended.
+func (t *KDTree) KNearestInto(q geo.Point, k int, knn *KNN, dst []int32) []int32 {
 	if k <= 0 || t.root < 0 {
-		return nil
+		return dst
 	}
-	h := &distHeap{}
+	h := &knn.h
+	h.idx = h.idx[:0]
+	h.d = h.d[:0]
 	var rec func(ni int32)
 	rec = func(ni int32) {
 		n := &t.nodes[ni]
@@ -204,12 +221,15 @@ func (t *KDTree) KNearest(q geo.Point, k int) []int32 {
 	}
 	rec(t.root)
 	// Drain the max-heap into ascending order.
-	out := make([]int32, len(h.d))
+	base := len(dst)
+	for range h.d {
+		dst = append(dst, 0)
+	}
 	for i := len(h.d) - 1; i >= 0; i-- {
-		out[i] = h.top()
+		dst[base+i] = h.top()
 		h.pop()
 	}
-	return out
+	return dst
 }
 
 const infinity = 1e300

@@ -1,0 +1,85 @@
+package testutil
+
+import (
+	"subtraj/internal/geo"
+	"subtraj/internal/roadnet"
+	"subtraj/internal/traj"
+)
+
+// This file provides the golden road-network fixture: a fixed, hand-shaped
+// city grid with known coordinates and a handful of ground-truth paths.
+// Unlike the seeded random workloads, its shape is pinned by a self-test
+// (golden_test.go), so tests across packages (map matching, server,
+// ingestion) can assert exact vertex IDs, distances, and path geometry
+// without each hand-rolling its own tiny graph.
+
+// Golden grid dimensions and spacing. Vertex (r, c) has ID r*GoldenCols+c
+// and coordinates (c*GoldenSpacing, r*GoldenSpacing); every horizontal and
+// vertical neighbour pair is connected by edges in both directions with
+// weight GoldenSpacing.
+const (
+	GoldenRows    = 6
+	GoldenCols    = 6
+	GoldenSpacing = 100.0
+)
+
+// GoldenVertex returns the vertex ID at grid position (row, col).
+func GoldenVertex(row, col int) traj.Symbol {
+	return traj.Symbol(row*GoldenCols + col)
+}
+
+// GoldenNet builds the golden road network: a GoldenRows×GoldenCols
+// bidirectional grid with GoldenSpacing-metre blocks. Deterministic and
+// allocation-cheap; build one per test.
+func GoldenNet() *roadnet.Graph {
+	g := &roadnet.Graph{}
+	for r := 0; r < GoldenRows; r++ {
+		for c := 0; c < GoldenCols; c++ {
+			g.AddVertex(geo.Point{X: float64(c) * GoldenSpacing, Y: float64(r) * GoldenSpacing})
+		}
+	}
+	for r := 0; r < GoldenRows; r++ {
+		for c := 0; c < GoldenCols; c++ {
+			v := int32(GoldenVertex(r, c))
+			if c+1 < GoldenCols {
+				w := int32(GoldenVertex(r, c+1))
+				g.AddEdge(v, w, GoldenSpacing)
+				g.AddEdge(w, v, GoldenSpacing)
+			}
+			if r+1 < GoldenRows {
+				w := int32(GoldenVertex(r+1, c))
+				g.AddEdge(v, w, GoldenSpacing)
+				g.AddEdge(w, v, GoldenSpacing)
+			}
+		}
+	}
+	return g
+}
+
+// GoldenPaths returns the fixture's ground-truth trajectories: connected
+// paths on the golden grid with distinct shapes (straight run, L-turn,
+// staircase, U-shape). Each is a valid path (see the self-test) long
+// enough to sample subqueries from.
+func GoldenPaths() [][]traj.Symbol {
+	v := GoldenVertex
+	return [][]traj.Symbol{
+		// Straight west→east run along row 1.
+		{v(1, 0), v(1, 1), v(1, 2), v(1, 3), v(1, 4), v(1, 5)},
+		// L-turn: south along column 4, then west along row 4.
+		{v(0, 4), v(1, 4), v(2, 4), v(3, 4), v(4, 4), v(4, 3), v(4, 2), v(4, 1), v(4, 0)},
+		// Staircase from the northwest corner to the southeast.
+		{v(0, 0), v(0, 1), v(1, 1), v(1, 2), v(2, 2), v(2, 3), v(3, 3), v(3, 4), v(4, 4), v(4, 5), v(5, 5)},
+		// U-shape down column 1, across row 5, up column 3.
+		{v(2, 1), v(3, 1), v(4, 1), v(5, 1), v(5, 2), v(5, 3), v(4, 3), v(3, 3), v(2, 3)},
+	}
+}
+
+// GoldenDataset bundles the golden paths into a vertex-representation
+// dataset (no timestamps), ready to build an engine over.
+func GoldenDataset() *traj.Dataset {
+	ds := traj.NewDataset(traj.VertexRep)
+	for _, p := range GoldenPaths() {
+		ds.Add(traj.Trajectory{Path: append([]traj.Symbol(nil), p...)})
+	}
+	return ds
+}

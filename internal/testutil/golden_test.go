@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"testing"
+
+	"subtraj/internal/geo"
+)
+
+// TestGoldenNetShape pins the fixture's shape: other packages assert exact
+// vertex IDs and geometry against it, so any change here must be
+// deliberate (and break this test first).
+func TestGoldenNetShape(t *testing.T) {
+	g := GoldenNet()
+	if got, want := g.NumVertices(), GoldenRows*GoldenCols; got != want {
+		t.Fatalf("vertices = %d, want %d", got, want)
+	}
+	// Interior grid edges, both directions: rows*(cols-1) horizontal pairs
+	// plus (rows-1)*cols vertical pairs.
+	wantEdges := 2 * (GoldenRows*(GoldenCols-1) + (GoldenRows-1)*GoldenCols)
+	if got := g.NumEdges(); got != wantEdges {
+		t.Fatalf("edges = %d, want %d", got, wantEdges)
+	}
+	// Coordinates are the grid lattice.
+	for r := 0; r < GoldenRows; r++ {
+		for c := 0; c < GoldenCols; c++ {
+			want := geo.Point{X: float64(c) * GoldenSpacing, Y: float64(r) * GoldenSpacing}
+			if got := g.Coord(int32(GoldenVertex(r, c))); got != want {
+				t.Fatalf("coord(%d,%d) = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+	// Every edge has weight GoldenSpacing and connects lattice neighbours.
+	for _, e := range g.Edges() {
+		if e.Weight != GoldenSpacing {
+			t.Fatalf("edge %d→%d weight %g, want %g", e.From, e.To, e.Weight, GoldenSpacing)
+		}
+		if d := g.Coord(e.From).Dist(g.Coord(e.To)); d != GoldenSpacing {
+			t.Fatalf("edge %d→%d spans %g m, want %g", e.From, e.To, d, GoldenSpacing)
+		}
+	}
+}
+
+func TestGoldenPathsAreValid(t *testing.T) {
+	g := GoldenNet()
+	paths := GoldenPaths()
+	if len(paths) != 4 {
+		t.Fatalf("got %d golden paths, want 4", len(paths))
+	}
+	for i, p := range paths {
+		if len(p) < 6 {
+			t.Errorf("path %d has only %d vertices; fixture paths must be long enough to subsample", i, len(p))
+		}
+		if !g.IsPath(p) {
+			t.Errorf("golden path %d is not a connected path: %v", i, p)
+		}
+	}
+	ds := GoldenDataset()
+	if ds.Len() != len(paths) {
+		t.Fatalf("dataset has %d trajectories, want %d", ds.Len(), len(paths))
+	}
+}
+
+// TestNewEnvSmoke gives the workload-backed Env constructor (used
+// throughout the suites) a first direct test: both representations
+// populated, substrates built, all six models constructible.
+func TestNewEnvSmoke(t *testing.T) {
+	e := NewEnv(3, 20, 15)
+	if e.V.Len() != 20 || e.E.Len() != 20 {
+		t.Fatalf("datasets: %d vertex-rep, %d edge-rep, want 20/20", e.V.Len(), e.E.Len())
+	}
+	if e.Tree.Len() != e.G.NumVertices() {
+		t.Fatalf("spatial index over %d points, want %d", e.Tree.Len(), e.G.NumVertices())
+	}
+	models := e.Models()
+	if len(models) != 6 {
+		t.Fatalf("got %d models, want 6", len(models))
+	}
+	for _, m := range models {
+		q := e.Query(m, 5)
+		if len(q) == 0 {
+			t.Errorf("model %s: empty query", m.Name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package workload_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"subtraj/internal/workload"
+)
+
+func loadWorkloadCorpus(t testing.TB) []byte {
+	t.Helper()
+	data, err := os.ReadFile("testdata/tiny_workload.gob")
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	return data
+}
+
+// TestWorkloadCorpusLoads pins the gob container format: the checked-in
+// corpus must keep loading, so format changes that orphan old datagen
+// files break here first.
+func TestWorkloadCorpusLoads(t *testing.T) {
+	w, err := workload.Load(bytes.NewReader(loadWorkloadCorpus(t)))
+	if err != nil {
+		t.Fatalf("corpus does not load: %v", err)
+	}
+	if w.Data.Len() != 8 {
+		t.Fatalf("corpus has %d trajectories, want 8", w.Data.Len())
+	}
+	if w.Graph.NumVertices() == 0 || w.Graph.NumEdges() == 0 {
+		t.Fatal("corpus graph is empty")
+	}
+	for id := range w.Data.Trajs {
+		if !w.Graph.IsPath(w.Data.Trajs[id].Path) {
+			t.Fatalf("corpus trajectory %d is not a connected path", id)
+		}
+	}
+}
+
+// FuzzWorkloadLoad: malformed input must return an error — never panic or
+// allocate unboundedly. Inputs that do load must satisfy the container's
+// invariants and survive a save/load round trip.
+func FuzzWorkloadLoad(f *testing.F) {
+	valid := loadWorkloadCorpus(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Add(append([]byte{}, valid[2:]...))
+	for _, i := range []int{0, 10, 100, len(valid) - 1} {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := workload.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Loaded workloads must uphold the invariants Load promises.
+		n := int32(w.Graph.NumVertices())
+		for id := range w.Data.Trajs {
+			for _, v := range w.Data.Trajs[id].Path {
+				if v < 0 || v >= n {
+					t.Fatalf("trajectory %d references vertex %d of %d", id, v, n)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := w.Save(&buf); err != nil {
+			t.Fatalf("loaded workload does not save: %v", err)
+		}
+		if _, err := workload.Load(&buf); err != nil {
+			t.Fatalf("saved copy does not load: %v", err)
+		}
+	})
+}

@@ -31,6 +31,10 @@ func (s *SafeEngine) Generation() uint64 { return s.inner.Generation() }
 // Append indexes one more trajectory and returns its ID.
 func (s *SafeEngine) Append(t Trajectory) int32 { return s.inner.Append(t) }
 
+// AppendBatch indexes several trajectories under one write-lock
+// acquisition (the GPS ingestion path) and returns their IDs in order.
+func (s *SafeEngine) AppendBatch(ts []Trajectory) []int32 { return s.inner.AppendBatch(ts) }
+
 // Search returns every match with wed(P[s..t], Q) < tau.
 func (s *SafeEngine) Search(q []Symbol, tau float64) ([]Match, error) {
 	return s.inner.Search(q, tau)

@@ -51,6 +51,11 @@ type (
 	Workload = workload.Workload
 	// WorkloadConfig parameterises workload generation.
 	WorkloadConfig = workload.Config
+	// GPSConfig parameterises synthetic GPS trace generation (noise σ,
+	// sample spacing, dropout rate).
+	GPSConfig = workload.GPSConfig
+	// GPSTrace is one synthetic GPS trace with its ground-truth path.
+	GPSTrace = workload.Trace
 )
 
 // Representation constants.
@@ -101,6 +106,17 @@ func SampleQuery(ds *Dataset, qlen int, rng *rand.Rand) ([]Symbol, error) {
 // LoadWorkload reads a workload previously written with Workload.Save
 // (e.g. by cmd/datagen).
 func LoadWorkload(r io.Reader) (*Workload, error) { return workload.Load(r) }
+
+// GenerateGPSTrace samples a noisy GPS trace along a ground-truth vertex
+// path — the raw-input side of the GPS-native pipeline, and the labelled
+// data of the closed-loop accuracy harness.
+func GenerateGPSTrace(g *Graph, path []Symbol, cfg GPSConfig, rng *rand.Rand) GPSTrace {
+	return workload.GenerateTrace(g, path, cfg, rng)
+}
+
+// LCSAccuracy scores a matched path against its ground truth as the
+// longest-common-subsequence fraction of the truth recovered in order.
+func LCSAccuracy(got, want []Symbol) float64 { return workload.LCSAccuracy(got, want) }
 
 // SpatialIndex is the black-box spatial index EDR/ERP neighbourhoods use;
 // the kd-tree and the R-tree both satisfy it (§4.2, Figure 2).
