@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -60,6 +62,13 @@ type perfWork struct {
 type perfBench struct {
 	Name    string `json:"name"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// P50/P95/P99NsPerOp are exact percentiles over the timed iterations'
+	// individual durations (testing.Benchmark only reports the mean, which
+	// a single slow outlier can dominate). Omitted in -quick snapshots —
+	// one iteration has no distribution.
+	P50NsPerOp int64 `json:"p50_ns_per_op,omitempty"`
+	P95NsPerOp int64 `json:"p95_ns_per_op,omitempty"`
+	P99NsPerOp int64 `json:"p99_ns_per_op,omitempty"`
 	// AllocsPerOp/BytesPerOp are omitted in -quick snapshots (a single
 	// timed iteration measures no allocation statistics).
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
@@ -270,13 +279,15 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 // strategies, so a new snapshot counter is added in exactly one place.
 type opCounters struct {
 	cellsC, cellsA, reused, rounds int64
+	durs                           []time.Duration
 }
 
-func (c *opCounters) record(st *core.QueryStats) {
+func (c *opCounters) record(st *core.QueryStats, dur time.Duration) {
 	c.cellsC += st.Verify.CellsComputed
 	c.cellsA += st.Verify.CellsAvailable
 	c.reused += int64(st.CandidatesReused)
 	c.rounds += int64(st.Rounds)
+	c.durs = append(c.durs, dur)
 }
 
 func (c *opCounters) finalize(bench *perfBench, ops int64) {
@@ -288,6 +299,25 @@ func (c *opCounters) finalize(bench *perfBench, ops int64) {
 	}
 	if c.cellsA > 0 {
 		bench.BandRatio = float64(c.cellsC) / float64(c.cellsA)
+	}
+	// Exact percentiles (nearest rank) over the individual op durations;
+	// a single sample has no distribution to report.
+	if len(c.durs) > 1 {
+		sorted := append([]time.Duration(nil), c.durs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pct := func(q float64) int64 {
+			idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			return sorted[idx].Nanoseconds()
+		}
+		bench.P50NsPerOp = pct(0.50)
+		bench.P95NsPerOp = pct(0.95)
+		bench.P99NsPerOp = pct(0.99)
 	}
 }
 
@@ -306,7 +336,7 @@ func measureBench(name string, quick bool, warmups int, runOne func(int) (*core.
 			return bench, err
 		}
 		bench.NsPerOp = time.Since(start).Nanoseconds()
-		counters.record(st)
+		counters.record(st, time.Duration(bench.NsPerOp))
 		ops = 1
 	} else {
 		// Warm the pools (verifier, trie arenas, candidate buffers)
@@ -323,12 +353,13 @@ func measureBench(name string, quick bool, warmups int, runOne func(int) (*core.
 			counters = opCounters{}
 			ops = int64(b.N)
 			for i := 0; i < b.N; i++ {
+				opStart := time.Now()
 				st, err := runOne(i)
 				if err != nil {
 					benchErr = err
 					b.Fatal(err)
 				}
-				counters.record(st)
+				counters.record(st, time.Since(opStart))
 			}
 		})
 		if benchErr != nil {
@@ -364,11 +395,12 @@ func measureFixed(name string, quick bool, ops int, runOne func(int) (*core.Quer
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < ops; i++ {
+		opStart := time.Now()
 		st, err := runOne(i)
 		if err != nil {
 			return bench, err
 		}
-		counters.record(st)
+		counters.record(st, time.Since(opStart))
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)

@@ -8,6 +8,8 @@
 //	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
 //	         [-load workload.gob] [-cache 1024] [-concurrency 0]
 //	         [-shards 0] [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
+//	         [-slow-query 250ms] [-trace-buffer 64] [-no-metrics]
+//	         [-debug-addr localhost:6060]
 //
 // Endpoints (all JSON; see internal/server for the full shapes):
 //
@@ -21,11 +23,19 @@
 //	POST /v1/ingest    {"traces":[[[x,y],...],...]}
 //	POST /v1/batch     {"queries":[{"kind":"search", ...}, ...]}
 //	GET  /v1/stats
+//	GET  /v1/debug/traces   span trees of recent slow queries
+//	GET  /metrics           Prometheus text exposition
 //	GET  /healthz
 //
 // Query bodies also accept "trace" in place of "q": the raw GPS samples
 // are map-matched onto the network (tuned by -gps-sigma/-gps-beta) and
-// the matched path is searched.
+// the matched path is searched. Appending ?debug=trace to any query
+// endpoint embeds the request's span tree in the response.
+//
+// Observability knobs: -slow-query sets the slow-query log threshold,
+// -trace-buffer the /v1/debug/traces retention, -no-metrics disables the
+// /metrics registry, and -debug-addr starts a second listener serving
+// net/http/pprof (kept off the public address on purpose).
 package main
 
 import (
@@ -34,7 +44,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +74,10 @@ func main() {
 		gpsBeta     = flag.Float64("gps-beta", 50, "map-matching transition tolerance in metres")
 		gpsMaxGap   = flag.Float64("gps-max-gap", 0, "split traces at sample jumps longer than this many metres (0 = stitch any gap)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		slowQuery   = flag.Duration("slow-query", 250*time.Millisecond, "slow-query log threshold (negative disables)")
+		traceBuffer = flag.Int("trace-buffer", 64, "slow-query traces retained by /v1/debug/traces (negative disables)")
+		noMetrics   = flag.Bool("no-metrics", false, "disable the /metrics registry (no-op metric handles)")
+		debugAddr   = flag.String("debug-addr", "", "if set, serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -120,6 +136,10 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxSymbol:      maxSymbol,
 		MaxParallelism: *maxPar,
+		SlowQuery:      *slowQuery,
+		TraceBuffer:    *traceBuffer,
+		DisableMetrics: *noMetrics,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	if *gpsSigma > 0 {
 		start = time.Now()
@@ -141,6 +161,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener: profiling stays
+		// reachable when the main pool saturates, and the public address
+		// never exposes the profiler.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

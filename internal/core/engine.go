@@ -147,9 +147,12 @@ type QueryStats struct {
 	//
 	// Rounds is the number of threshold-growing rounds the driver ran;
 	// RoundCandidates records each round's enumerated candidate count
-	// (before any cross-round skipping).
+	// (before any cross-round skipping), and RoundTime each round's
+	// wall-clock duration (plan + filter + verify) — the per-round span
+	// breakdown the observability layer renders under top-k traces.
 	Rounds          int
 	RoundCandidates []int
+	RoundTime       []time.Duration
 	// CandidatesReused counts candidates enumerated in a later round but
 	// skipped because their trajectory's best match was already resolved
 	// in an earlier round — the cross-round work reuse of the

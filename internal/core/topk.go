@@ -240,7 +240,8 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 	}()
 
 	for {
-		start := time.Now()
+		roundStart := time.Now()
+		start := roundStart
 		plan, err := filter.BuildPlan(e.costs, e.sidx, q, tau)
 		stats.MinCandTime += time.Since(start)
 		if err != nil {
@@ -259,6 +260,7 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 		} else {
 			e.topKRoundSharded(q, plan, tau, workers, st, stats)
 		}
+		stats.RoundTime = append(stats.RoundTime, time.Since(roundStart))
 
 		if st.full.Load() {
 			// k exact bests are known and every unresolved trajectory's
@@ -399,10 +401,12 @@ func (e *Engine) searchTopKLegacy(q []traj.Symbol, k, parallelism int) ([]traj.M
 	tau := ceiling / topKStartDiv
 	merged := &QueryStats{Shards: e.sidx.NumShards()}
 	for {
+		roundStart := time.Now()
 		res, st, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})
 		if err != nil {
 			return nil, nil, err
 		}
+		merged.RoundTime = append(merged.RoundTime, time.Since(roundStart))
 		merged.MinCandTime += st.MinCandTime
 		merged.LookupTime += st.LookupTime
 		merged.VerifyTime += st.VerifyTime

@@ -25,6 +25,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"subtraj/internal/geo"
 	"subtraj/internal/roadnet"
@@ -131,6 +132,11 @@ type Result struct {
 	Confidence float64
 	// Splits counts HMM breaks, i.e. len(Segments)-1.
 	Splits int
+	// Elapsed is the wall-clock decode time of this trace (candidate
+	// k-NN, Viterbi, backtrack — excluding any caller-side queueing), so
+	// observability layers can histogram matcher latency without timing
+	// around the call.
+	Elapsed time.Duration
 }
 
 // Path returns the longest segment's path (the whole matched path for a
@@ -172,6 +178,7 @@ func (m *Matcher) MatchTrace(trace []geo.Point) (Result, error) {
 	if m.g.NumVertices() == 0 {
 		return Result{}, errors.New("mapmatch: empty road network")
 	}
+	begin := time.Now()
 	sc := m.scratch.Get().(*matchScratch)
 	sc.prepare(m.g.NumVertices())
 
@@ -189,6 +196,7 @@ func (m *Matcher) MatchTrace(trace []geo.Point) (Result, error) {
 		confSum += s.Confidence * float64(s.Last-s.First+1)
 	}
 	res.Confidence = confSum / float64(len(trace))
+	res.Elapsed = time.Since(begin)
 	return res, nil
 }
 

@@ -89,11 +89,13 @@ func (s *Server) matchTrace(ctx context.Context, trace []tracePoint) (mapmatch.R
 		return res, &httpError{code: http.StatusServiceUnavailable, msg: perr.Error()}
 	}
 	s.stats.matchNS.Add(elapsed.Nanoseconds())
+	s.metrics.stageMatch.Observe(elapsed.Seconds())
 	if merr != nil {
 		s.stats.tracesFailed.Add(1)
 		return res, badRequest("map matching failed: %v", merr)
 	}
 	s.stats.tracesMatched.Add(1)
+	s.metrics.matchConfidence.Observe(res.Confidence)
 	if res.Splits > 0 {
 		s.stats.tracesSplit.Add(1)
 	}

@@ -1,0 +1,583 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"subtraj/internal/core"
+	"subtraj/internal/obs"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
+	"subtraj/internal/workload"
+)
+
+// newObsServer builds a server over a workload big enough that searches
+// take real (sub-millisecond-plus) time, so span-sum checks are not
+// dominated by microsecond rounding. The engine has 4 shards so the same
+// helper covers sequential and sharded paths via cfg.MaxParallelism.
+func newObsServer(t testing.TB, cfg Config) (*Server, *httptest.Server, []traj.Symbol) {
+	t.Helper()
+	w := workload.Generate(workload.Config{
+		Name: "obs", GridRows: 20, GridCols: 20, NumTrajectories: 900,
+		TargetLen: 70, Seed: 11, Horizon: 86400, SpeedMean: 11,
+	})
+	eng := core.NewEngineShards(w.Data, wed.NewLev(), 4)
+	cfg.MaxSymbol = int32(w.Graph.NumVertices())
+	srv := New(NewSafeEngine(eng), cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	q, err := workload.SampleQuery(w.Data, 18, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ts, q
+}
+
+// searchTrace runs one ?debug=trace search and returns its span tree.
+func searchTrace(t *testing.T, url string, q []traj.Symbol) *obs.SpanJSON {
+	t.Helper()
+	resp, out := post(t, url+"/v1/search?debug=trace", map[string]any{"q": q, "tau_ratio": 0.35})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d, body %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("missing X-Request-ID header")
+	}
+	raw, ok := out["trace"]
+	if !ok {
+		t.Fatal("?debug=trace response has no trace field")
+	}
+	var tree obs.SpanJSON
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	return &tree
+}
+
+// spanSumErr checks the acceptance contract on one trace: the root's
+// direct children are sequential wall spans whose durations sum to the
+// root's within 5%.
+func spanSumErr(tree *obs.SpanJSON) error {
+	var sum int64
+	names := make([]string, 0, len(tree.Children))
+	for _, c := range tree.Children {
+		sum += c.DurUS
+		names = append(names, c.Name)
+	}
+	if tree.DurUS <= 0 {
+		return fmt.Errorf("root span has no duration: %+v", tree)
+	}
+	diff := tree.DurUS - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(tree.DurUS) {
+		return fmt.Errorf("top-level spans %v sum to %dµs, root is %dµs (diff %dµs > 5%%)",
+			names, sum, tree.DurUS, diff)
+	}
+	return nil
+}
+
+// checkSpanSum asserts spanSumErr over a few attempts: on a loaded
+// single-CPU test box the goroutine can lose the processor for tens of
+// microseconds between spans, so one trace is allowed to be unlucky —
+// but the contract must hold within three.
+func checkSpanSum(t *testing.T, ts string, q []traj.Symbol) *obs.SpanJSON {
+	t.Helper()
+	var tree *obs.SpanJSON
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		tree = searchTrace(t, ts, q)
+		if err = spanSumErr(tree); err == nil {
+			break
+		}
+		t.Logf("attempt %d: %v", attempt+1, err)
+	}
+	if err != nil {
+		t.Error(err)
+	}
+	names := make([]string, 0, len(tree.Children))
+	for _, c := range tree.Children {
+		names = append(names, c.Name)
+	}
+	for _, want := range []string{"decode", "cache_lookup", "pool_wait", "engine"} {
+		if findChild(tree, want) == nil {
+			t.Errorf("trace has no top-level %q span (got %v)", want, names)
+		}
+	}
+	return tree
+}
+
+func findChild(s *obs.SpanJSON, name string) *obs.SpanJSON {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestTraceSpansSumSequential(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: -1, MaxConcurrent: 4, MaxParallelism: 1})
+	tree := checkSpanSum(t, ts.URL, q)
+	eng := findChild(tree, "engine")
+	if eng == nil {
+		t.Fatal("no engine span")
+	}
+	if par, _ := eng.Attrs["parallelism"].(float64); par != 1 {
+		t.Errorf("sequential path reports parallelism %v, want 1", eng.Attrs["parallelism"])
+	}
+	// The QueryStats stages hang under the engine span as work spans,
+	// each tagged with the worker count its durations were summed over.
+	for _, stage := range []string{"filter", "verify"} {
+		sp := findChild(eng, stage)
+		if sp == nil {
+			t.Errorf("engine span has no %q child", stage)
+			continue
+		}
+		if _, ok := sp.Attrs["workers"]; !ok {
+			t.Errorf("%s span has no workers attr", stage)
+		}
+	}
+}
+
+func TestTraceSpansSumSharded(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: -1, MaxConcurrent: 8, MaxParallelism: 4})
+	tree := checkSpanSum(t, ts.URL, q)
+	eng := findChild(tree, "engine")
+	if eng == nil {
+		t.Fatal("no engine span")
+	}
+	if par, _ := eng.Attrs["parallelism"].(float64); par < 2 {
+		t.Errorf("sharded path reports parallelism %v, want >= 2 (idle pool, 4 shards)", eng.Attrs["parallelism"])
+	}
+}
+
+func TestTraceCacheHitSpan(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: 16, MaxConcurrent: 4})
+	searchTrace(t, ts.URL, q)                 // populate
+	tree := searchTrace(t, ts.URL, q)         // hit
+	lookup := findChild(tree, "cache_lookup") // hit attr set on the lookup span
+	if lookup == nil {
+		t.Fatal("no cache_lookup span")
+	}
+	if hit, _ := lookup.Attrs["hit"].(bool); !hit {
+		t.Errorf("second identical query: cache_lookup attrs = %v, want hit=true", lookup.Attrs)
+	}
+	if findChild(tree, "engine") != nil {
+		t.Error("cache-hit trace still has an engine span")
+	}
+}
+
+// --- /metrics exposition --------------------------------------------------
+
+// expositionLine matches any valid line of the Prometheus text format.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*` + // comment
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+` + // sample
+		`)$`)
+
+// scrapeMetrics fetches /metrics, validates every line, and returns the
+// samples keyed by full series name (name plus rendered labels).
+func scrapeMetrics(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// bucketQuantile re-derives a quantile from scraped _bucket samples the
+// same way obs.Histogram.Quantile does, so /metrics and /v1/stats can be
+// cross-checked through the wire format.
+func bucketQuantile(samples map[string]float64, name, labels string, q float64) float64 {
+	type bk struct{ le, cum float64 }
+	var bks []bk
+	prefix := name + "_bucket{" + labels
+	for series, v := range samples {
+		if !strings.HasPrefix(series, prefix) {
+			continue
+		}
+		le := series[strings.Index(series, `le="`)+4:]
+		le = le[:strings.IndexByte(le, '"')]
+		if le == "+Inf" {
+			continue
+		}
+		f, _ := strconv.ParseFloat(le, 64)
+		bks = append(bks, bk{le: f, cum: v})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	total := samples[name+"_count{"+labels+"}"]
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	prevCum, lo := 0.0, 0.0
+	for _, b := range bks {
+		if b.cum >= rank {
+			c := b.cum - prevCum
+			if c == 0 {
+				return b.le
+			}
+			return lo + (b.le-lo)*(rank-prevCum)/c
+		}
+		prevCum, lo = b.cum, b.le
+	}
+	return bks[len(bks)-1].le
+}
+
+func TestMetricsMatchStats(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: 16, MaxConcurrent: 4})
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35})
+	}
+	post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35}) // cache hit
+	post(t, ts.URL+"/v1/topk", map[string]any{"q": q, "k": 3})
+
+	var stats StatsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	samples := scrapeMetrics(t, ts.URL)
+
+	near := func(name string, got, want float64) {
+		t.Helper()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9+1e-9*want {
+			t.Errorf("%s: /metrics has %g, /v1/stats has %g", name, got, want)
+		}
+	}
+	near("band_ratio", samples["subtraj_band_ratio"], stats.Totals.BandRatio)
+	near("reused_ratio", samples["subtraj_topk_reused_ratio"], stats.Totals.ReusedRatio)
+	near("cache_hit_ratio", samples["subtraj_cache_hit_ratio"], stats.Cache.HitRatio)
+	near("requests search", samples[`subtraj_requests_total{endpoint="search"}`], float64(stats.Requests.Search))
+	near("executed", samples["subtraj_queries_executed_total"], float64(stats.Totals.Executed))
+	near("cache hits", samples["subtraj_cache_hits_total"], float64(stats.Cache.Hits))
+	near("generation", samples["subtraj_engine_generation"], float64(stats.Engine.Generation))
+
+	lat, ok := stats.Latency["search"]
+	if !ok {
+		t.Fatal("/v1/stats has no latency block for search")
+	}
+	if lat.Count != stats.Requests.Search {
+		t.Errorf("latency count %d != search requests %d (cache hits must be recorded)", lat.Count, stats.Requests.Search)
+	}
+	labels := `endpoint="search"`
+	for _, pq := range []struct {
+		q    float64
+		want float64
+	}{{0.50, lat.P50MS}, {0.99, lat.P99MS}} {
+		got := bucketQuantile(samples, "subtraj_request_duration_seconds", labels, pq.q) * 1e3
+		diff := got - pq.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-6+1e-6*pq.want {
+			t.Errorf("p%d from /metrics buckets = %gms, /v1/stats reports %gms", int(pq.q*100), got, pq.want)
+		}
+	}
+}
+
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: 16, MaxConcurrent: 4})
+	post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35})
+	samples := scrapeMetrics(t, ts.URL)
+	for _, family := range []string{
+		"subtraj_requests_total", "subtraj_request_errors_total",
+		"subtraj_queries_executed_total", "subtraj_band_ratio",
+		"subtraj_topk_reused_ratio", "subtraj_cache_hits_total",
+		"subtraj_cache_hit_ratio", "subtraj_pool_capacity",
+		"subtraj_engine_generation", "subtraj_uptime_seconds",
+		"subtraj_verifier_pool_gets_total",
+	} {
+		found := false
+		for series := range samples {
+			if series == family || strings.HasPrefix(series, family+"{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("/metrics is missing family %s", family)
+		}
+	}
+	// Histogram invariants on the wire: buckets cumulative (monotone in
+	// le) and _count equal to the +Inf bucket.
+	labels := `endpoint="search"`
+	inf := samples[`subtraj_request_duration_seconds_bucket{`+labels+`,le="+Inf"}`]
+	count := samples["subtraj_request_duration_seconds_count{"+labels+"}"]
+	if inf != count || count < 1 {
+		t.Errorf("search histogram: +Inf bucket %g, _count %g, want equal and >= 1", inf, count)
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{CacheSize: 16, MaxConcurrent: 4, DisableMetrics: true})
+	resp, out := post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search with metrics disabled: status %d, body %v", resp.StatusCode, out)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Errorf("disabled /metrics: status %d, %d bytes, want 200 and empty", mresp.StatusCode, len(body))
+	}
+	var stats StatsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Latency != nil {
+		t.Errorf("disabled metrics still report latency block: %v", stats.Latency)
+	}
+}
+
+// TestMetricsConcurrentHammer scrapes /metrics while searches, appends,
+// and batches are in flight; under -race this is the acceptance test for
+// the lock-free registry wiring. Afterward the scrape must still be
+// well-formed and the request counters must equal the traffic sent.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	_, ts, q := newObsServer(t, Config{
+		CacheSize: 16, MaxConcurrent: 8, SlowQuery: 1,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	const workers, iters = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch w % 4 {
+				case 0:
+					post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.3})
+				case 1:
+					post(t, ts.URL+"/v1/append", map[string]any{"path": q})
+				case 2:
+					post(t, ts.URL+"/v1/batch", map[string]any{
+						"queries": []map[string]any{
+							{"kind": "count", "q": q},
+							{"kind": "topk", "q": q, "k": 2},
+						},
+					})
+				case 3:
+					scrapeMetrics(t, ts.URL)
+					getJSON(t, ts.URL+"/v1/debug/traces", &struct{}{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	samples := scrapeMetrics(t, ts.URL)
+	if got := samples[`subtraj_requests_total{endpoint="search"}`]; got != iters {
+		t.Errorf("search counter = %g after hammer, want %d", got, iters)
+	}
+	if got := samples[`subtraj_requests_total{endpoint="append"}`]; got != iters {
+		t.Errorf("append counter = %g after hammer, want %d", got, iters)
+	}
+	if got := samples["subtraj_engine_generation"]; got != iters {
+		t.Errorf("generation gauge = %g, want %d", got, iters)
+	}
+}
+
+// --- slow-query log and debug ring ----------------------------------------
+
+// lockedBuffer lets the slog handler race the test's reads safely.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSlowQueryLogAndRing(t *testing.T) {
+	var logBuf lockedBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	// A 1ns threshold makes every request slow, so the ring and log fill
+	// deterministically.
+	_, ts, q := newObsServer(t, Config{
+		CacheSize: -1, MaxConcurrent: 4,
+		SlowQuery: time.Nanosecond, TraceBuffer: 4, Logger: logger,
+	})
+	resp, _ := post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35})
+	reqID := resp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("no X-Request-ID on response")
+	}
+
+	var ring debugTracesResponse
+	getJSON(t, ts.URL+"/v1/debug/traces", &ring)
+	if ring.Capacity != 4 {
+		t.Errorf("ring capacity = %d, want 4", ring.Capacity)
+	}
+	var rec *obs.TraceRecord
+	for i := range ring.Traces {
+		if ring.Traces[i].RequestID == reqID {
+			rec = &ring.Traces[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("request %s not retained in /v1/debug/traces (%d records)", reqID, len(ring.Traces))
+	}
+	if rec.Endpoint != "search" || rec.Trace == nil || rec.DurUS <= 0 {
+		t.Errorf("retained record incomplete: %+v", rec)
+	}
+	if findChild(rec.Trace, "engine") == nil {
+		t.Error("retained trace has no engine span")
+	}
+
+	logged := logBuf.String()
+	if !strings.Contains(logged, "slow query") || !strings.Contains(logged, reqID) {
+		t.Errorf("slow-query log missing entry for %s: %q", reqID, logged)
+	}
+	if !strings.Contains(logged, "breakdown=") {
+		t.Errorf("slow-query log has no span breakdown: %q", logged)
+	}
+
+	var stats StatsSnapshot
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Requests.Slow < 1 {
+		t.Errorf("stats report %d slow requests, want >= 1", stats.Requests.Slow)
+	}
+}
+
+func TestSlowQueryDisabled(t *testing.T) {
+	var logBuf lockedBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	_, ts, q := newObsServer(t, Config{
+		CacheSize: -1, MaxConcurrent: 4,
+		SlowQuery: -1, TraceBuffer: -1, Logger: logger,
+	})
+	post(t, ts.URL+"/v1/search", map[string]any{"q": q, "tau_ratio": 0.35})
+	var ring debugTracesResponse
+	getJSON(t, ts.URL+"/v1/debug/traces", &ring)
+	if len(ring.Traces) != 0 || ring.Capacity != 0 {
+		t.Errorf("disabled ring still retains traces: %+v", ring)
+	}
+	if logged := logBuf.String(); logged != "" {
+		t.Errorf("disabled slow-query log still wrote: %q", logged)
+	}
+}
+
+// --- healthz --------------------------------------------------------------
+
+func TestHealthzFields(t *testing.T) {
+	srv, ts, q := newObsServer(t, Config{CacheSize: 16, MaxConcurrent: 4})
+	var h healthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Trajectories != srv.eng.NumTrajectories() || h.Shards != 4 {
+		t.Errorf("healthz engine shape = %d trajectories / %d shards, want %d / 4",
+			h.Trajectories, h.Shards, srv.eng.NumTrajectories())
+	}
+	if h.Generation != 0 {
+		t.Errorf("fresh server generation = %d, want 0", h.Generation)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %g", h.UptimeSeconds)
+	}
+	if h.GPSEnabled {
+		t.Error("gps_enabled = true on a matcher-less server")
+	}
+
+	post(t, ts.URL+"/v1/append", map[string]any{"path": q})
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Generation != 1 {
+		t.Errorf("generation after append = %d, want 1", h.Generation)
+	}
+
+	// A departure-mode query forces the temporal index build, after which
+	// /healthz must report temporal_ready.
+	post(t, ts.URL+"/v1/temporal", map[string]any{
+		"q": q, "tau_ratio": 0.3, "lo": 0.0, "hi": 1e12, "mode": "departure",
+	})
+	getJSON(t, ts.URL+"/healthz", &h)
+	if !h.TemporalReady {
+		t.Error("temporal_ready = false after a departure query built the index")
+	}
+}
+
+// --- overhead benchmark ---------------------------------------------------
+
+// BenchmarkServeSearch measures the full request path (trace middleware,
+// histograms, spans) with the registry enabled vs the nil-handle no-op
+// baseline — the acceptance bar is <3% overhead.
+func BenchmarkServeSearch(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "metrics=on"
+		if disabled {
+			name = "metrics=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, _, q := newObsServer(b, Config{
+				CacheSize: -1, MaxConcurrent: 4, MaxParallelism: 1,
+				DisableMetrics: disabled, SlowQuery: -1, TraceBuffer: -1,
+			})
+			body, _ := json.Marshal(map[string]any{"q": q, "tau_ratio": 0.35})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		})
+	}
+}

@@ -168,6 +168,16 @@ func (s *SafeEngine) SearchTopKStats(q []traj.Symbol, k int, opts core.TopKOptio
 // any single query's parallelism.
 func (s *SafeEngine) NumShards() int { return s.eng.NumShards() }
 
+// TemporalReady reports whether the departure-sorted temporal postings
+// are built and current — the engine-readiness signal /healthz and the
+// metrics scraper expose. Taken under the read lock because Append
+// invalidates the flag under the write lock.
+func (s *SafeEngine) TemporalReady() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.TemporalReady()
+}
+
 // EffectiveParallelism resolves a parallelism setting exactly as the
 // engine will (0 = auto; clamped to the shard count). Both are fixed at
 // construction, so no lock is needed.

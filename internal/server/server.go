@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"subtraj/internal/core"
 	"subtraj/internal/filter"
 	"subtraj/internal/mapmatch"
+	"subtraj/internal/obs"
 	"subtraj/internal/traj"
 )
 
@@ -59,6 +61,22 @@ type Config struct {
 	// (0 = default 16384). Traces oversample paths (several samples per
 	// edge), so the cap is independent of MaxQueryLen.
 	MaxTraceLen int
+	// SlowQuery is the slow-query threshold: requests at or above it are
+	// written to the structured slow-query log (with their span
+	// breakdown and request ID) and retained in the /v1/debug/traces
+	// ring. 0 = default 250ms; negative disables both.
+	SlowQuery time.Duration
+	// TraceBuffer is the /v1/debug/traces ring capacity — how many slow
+	// queries' span trees are retained (0 = default 64; negative
+	// disables retention).
+	TraceBuffer int
+	// Logger receives the structured slow-query log (nil = slog.Default()).
+	Logger *slog.Logger
+	// DisableMetrics turns the /metrics registry off: every metric handle
+	// is nil (a no-op), /metrics serves an empty payload, and /v1/stats
+	// omits the latency block. This is the baseline the instrumentation-
+	// overhead benchmark compares the enabled path against.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +100,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTraceLen <= 0 {
 		c.MaxTraceLen = 16384
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -114,6 +141,8 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	stats   counters
+	metrics *serverMetrics
+	traces  *obs.TraceRing
 }
 
 // counters aggregates per-endpoint request counts and the engine's
@@ -138,6 +167,12 @@ type counters struct {
 	tracesMatched, tracesFailed, tracesSplit atomic.Int64
 	segmentsAppended, traceQueries           atomic.Int64
 	matchNS                                  atomic.Int64
+
+	// cacheHitQueries counts query requests answered from the result
+	// cache (the complement of executed over query traffic); slowQueries
+	// counts requests at or above the slow-query threshold.
+	cacheHitQueries atomic.Int64
+	slowQueries     atomic.Int64
 }
 
 // New builds a Server over eng.
@@ -151,20 +186,24 @@ func New(eng *SafeEngine, cfg Config) *Server {
 		cfg:     cfg,
 	}
 	s.stats.start = time.Now()
+	if cfg.TraceBuffer > 0 {
+		s.traces = obs.NewTraceRing(cfg.TraceBuffer)
+	}
+	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/search", s.handleQuery("search", &s.stats.search))
-	s.mux.HandleFunc("POST /v1/topk", s.handleQuery("topk", &s.stats.topk))
-	s.mux.HandleFunc("POST /v1/temporal", s.handleQuery("temporal", &s.stats.temporal))
-	s.mux.HandleFunc("POST /v1/exact", s.handleQuery("exact", &s.stats.exact))
-	s.mux.HandleFunc("POST /v1/count", s.handleQuery("count", &s.stats.count))
-	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
-	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("POST /v1/search", s.instrument("search", s.handleQuery("search", &s.stats.search)))
+	s.mux.HandleFunc("POST /v1/topk", s.instrument("topk", s.handleQuery("topk", &s.stats.topk)))
+	s.mux.HandleFunc("POST /v1/temporal", s.instrument("temporal", s.handleQuery("temporal", &s.stats.temporal)))
+	s.mux.HandleFunc("POST /v1/exact", s.instrument("exact", s.handleQuery("exact", &s.stats.exact)))
+	s.mux.HandleFunc("POST /v1/count", s.instrument("count", s.handleQuery("count", &s.stats.count)))
+	s.mux.HandleFunc("POST /v1/append", s.instrument("append", s.handleAppend))
+	s.mux.HandleFunc("POST /v1/match", s.instrument("match", s.handleMatch))
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/debug/traces", s.instrument("debug_traces", s.handleDebugTraces))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	return s
 }
 
@@ -229,6 +268,11 @@ type queryResponse struct {
 	ResolvedQ       []traj.Symbol `json:"resolved_q,omitempty"`
 	MatchConfidence float64       `json:"match_confidence,omitempty"`
 	MatchSplits     int           `json:"match_splits,omitempty"`
+	// Trace is the request's span tree, present only with ?debug=trace.
+	// Top-level children are wall spans that sum to the root's duration;
+	// spans carrying a "workers" attribute are summed work across shard
+	// workers (see internal/obs).
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // httpError carries the status a handler should answer with.
@@ -248,8 +292,12 @@ func badRequest(format string, args ...any) *httpError {
 func (s *Server) handleQuery(kind string, counter *atomic.Int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
+		tr := obs.FromContext(r.Context())
+		dec := tr.StartSpan(nil, "decode")
 		var req queryRequest
-		if err := s.decode(w, r, &req); err != nil {
+		err := s.decode(w, r, &req)
+		dec.End()
+		if err != nil {
 			s.fail(w, err)
 			return
 		}
@@ -258,6 +306,14 @@ func (s *Server) handleQuery(kind string, counter *atomic.Int64) http.HandlerFun
 		if err != nil {
 			s.fail(w, err)
 			return
+		}
+		if r.URL.Query().Get("debug") == "trace" {
+			// Finish before encoding: the root duration then brackets
+			// exactly the spans in the tree (its top-level children sum to
+			// it), and the instrument middleware's later Finish keeps this
+			// value for the latency histogram.
+			tr.Finish()
+			resp.Trace = tr.JSON()
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
@@ -355,12 +411,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // indistinguishable from a symbol query — including its cache key, so a
 // trace query and its ground-truth symbol query share cache entries.
 func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse, error) {
+	tr := obs.FromContext(ctx)
 	var matched *mapmatch.Result
 	if len(req.Trace) > 0 {
+		rt := tr.StartSpan(nil, "resolve_trace")
 		var err error
-		if matched, err = s.resolveTrace(ctx, req); err != nil {
+		matched, err = s.resolveTrace(ctx, req)
+		rt.End()
+		if err != nil {
 			return nil, err
 		}
+		// The matcher's own wall time nests under the resolve span (the
+		// remainder is pool queueing plus symbol conversion).
+		tr.AddSpan(rt, "map_match", matched.Elapsed).SetAttr("confidence", matched.Confidence)
 	}
 	if err := s.validateQuery(req); err != nil {
 		return nil, err
@@ -392,8 +455,13 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		key = cacheKey("count", req.Q)
 	}
 
+	lookup := tr.StartSpan(nil, "cache_lookup")
 	gen := s.eng.Generation()
-	if ent, ok := s.cache.get(key, gen); ok {
+	ent, hit := s.cache.get(key, gen)
+	lookup.End()
+	lookup.SetAttr("hit", hit)
+	if hit {
+		s.stats.cacheHitQueries.Add(1)
 		// ent.tau is the τ the computed response reported — for top-k the
 		// driver's final effective threshold, which the request itself
 		// does not carry, so cached hits must replay it from the entry.
@@ -410,8 +478,13 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		n       int
 		qstats  *core.QueryStats
 		qerr    error
+		engSpan *obs.Span
 	)
+	poolSpan := tr.StartSpan(nil, "pool_wait")
 	perr := s.pool.do(ctx, func() {
+		poolSpan.End()
+		engSpan = tr.StartSpan(nil, "engine")
+		defer engSpan.End()
 		// The request's own pool slot is one shard worker; borrow up to
 		// parallelism−1 extras from the same pool (non-blocking), so
 		// intra-query shards and cross-query requests share one global
@@ -427,6 +500,7 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		if par > 1 {
 			s.stats.parallelQueries.Add(1)
 		}
+		engSpan.SetAttr("parallelism", par)
 		switch req.Kind {
 		case "search":
 			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau, Parallelism: par})
@@ -445,11 +519,18 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		}
 	})
 	if perr != nil {
+		poolSpan.End() // never acquired a slot; close the wait span
 		return nil, &httpError{code: http.StatusServiceUnavailable, msg: perr.Error()}
 	}
 	if qerr != nil {
 		return nil, mapEngineError(qerr)
 	}
+	// Post-engine bookkeeping (stat recording, cache fill, response
+	// assembly) gets its own wall span so the top-level spans keep summing
+	// to the request latency even when the engine phase is short.
+	fin := tr.StartSpan(nil, "finalize")
+	defer fin.End()
+	attachStatSpans(tr, engSpan, qstats)
 	s.stats.executed.Add(1)
 	if req.Kind != "count" {
 		n = len(matches)
@@ -514,7 +595,11 @@ func (s *Server) recordQueryStats(qs *core.QueryStats) {
 		// Only top-k drivers report rounds; keep their verified-candidate
 		// total separate so ReusedRatio is not diluted by plain searches.
 		s.stats.topkVerified.Add(int64(qs.Candidates))
+		s.metrics.topkRounds.Observe(float64(qs.Rounds))
 	}
+	s.metrics.stagePlan.Observe(qs.MinCandTime.Seconds())
+	s.metrics.stageFilter.Observe(qs.LookupTime.Seconds())
+	s.metrics.stageVerify.Observe(qs.VerifyTime.Seconds())
 }
 
 // --- validation and error mapping ---------------------------------------
@@ -648,6 +733,9 @@ type StatsSnapshot struct {
 		Ingest   int64 `json:"ingest"`
 		Batch    int64 `json:"batch"`
 		Errors   int64 `json:"errors"`
+		// Slow counts requests at or above the configured slow-query
+		// threshold (the ones retained by /v1/debug/traces).
+		Slow int64 `json:"slow"`
 	} `json:"requests"`
 	// GPS aggregates the map-matching pipeline: every matcher run —
 	// whether from /v1/match, /v1/ingest, or a trace-carrying query —
@@ -671,6 +759,9 @@ type StatsSnapshot struct {
 		Misses        int64 `json:"misses"`
 		Evictions     int64 `json:"evictions"`
 		Invalidations int64 `json:"invalidations"`
+		// HitRatio is hits / (hits + misses) since start — the same value
+		// /metrics exports as subtraj_cache_hit_ratio.
+		HitRatio float64 `json:"hit_ratio"`
 	} `json:"cache"`
 	Pool struct {
 		Capacity int   `json:"capacity"`
@@ -713,6 +804,20 @@ type StatsSnapshot struct {
 		ReusedCandidates int64   `json:"reused_candidates"`
 		ReusedRatio      float64 `json:"reused_ratio"`
 	} `json:"totals"`
+	// Latency summarizes each endpoint's request-duration histogram — the
+	// very histograms /metrics exposes, so the two surfaces report the
+	// same percentiles. Absent when metrics are disabled; endpoints with
+	// no traffic are omitted.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary is the /v1/stats per-endpoint latency block: request
+// count and estimated percentiles in milliseconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // Snapshot assembles the current running counters.
@@ -732,6 +837,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Requests.Ingest = s.stats.ingest.Load()
 	out.Requests.Batch = s.stats.batch.Load()
 	out.Requests.Errors = s.stats.errors.Load()
+	out.Requests.Slow = s.stats.slowQueries.Load()
 	out.GPS.Enabled = s.matcher != nil
 	out.GPS.TracesMatched = s.stats.tracesMatched.Load()
 	out.GPS.TracesFailed = s.stats.tracesFailed.Load()
@@ -748,6 +854,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Cache.Misses = s.cache.misses.Load()
 	out.Cache.Evictions = s.cache.evictions.Load()
 	out.Cache.Invalidations = s.cache.invalidations.Load()
+	if lookups := out.Cache.Hits + out.Cache.Misses; lookups > 0 {
+		out.Cache.HitRatio = float64(out.Cache.Hits) / float64(lookups)
+	}
 	out.Pool.Capacity = s.pool.capacity()
 	out.Pool.InFlight = s.pool.inFlight.Load()
 	out.Pool.Waited = s.pool.waited.Load()
@@ -778,6 +887,19 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if out.Totals.CellsAvailable > 0 {
 		out.Totals.BandRatio = float64(out.Totals.CellsComputed) / float64(out.Totals.CellsAvailable)
+	}
+	if s.metrics.reg != nil {
+		out.Latency = make(map[string]LatencySummary)
+		for ep, h := range s.metrics.reqLatency {
+			if n := h.Count(); n > 0 {
+				out.Latency[ep] = LatencySummary{
+					Count: n,
+					P50MS: h.Quantile(0.50) * 1e3,
+					P95MS: h.Quantile(0.95) * 1e3,
+					P99MS: h.Quantile(0.99) * 1e3,
+				}
+			}
+		}
 	}
 	return out
 }

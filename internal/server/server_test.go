@@ -83,7 +83,7 @@ func TestEndpointsSuccess(t *testing.T) {
 		}
 	}
 
-	var health map[string]string
+	var health map[string]any
 	getJSON(t, ts.URL+"/healthz", &health)
 	if health["status"] != "ok" {
 		t.Errorf("healthz = %v", health)

@@ -18,6 +18,7 @@ package verify
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"subtraj/internal/traj"
 	"subtraj/internal/wed"
@@ -203,11 +204,28 @@ func New(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts O
 }
 
 // pool recycles verifiers across queries; Get/Put are the entry points.
-var pool = sync.Pool{New: func() any { return new(Verifier) }}
+// poolGets/poolNews instrument it: every Get bumps poolGets, and a Get
+// that found the pool empty (a fresh allocation — GC pressure the pool
+// failed to absorb) bumps poolNews. Their ratio is the steady-state
+// reuse rate the /metrics verifier_pool gauges report.
+var (
+	pool               = sync.Pool{New: func() any { poolNews.Add(1); return new(Verifier) }}
+	poolGets, poolNews atomic.Int64
+)
+
+// PoolStats returns the cumulative verifier-pool counters: gets is the
+// total number of Get calls, news how many of those had to allocate a
+// fresh Verifier because the pool was empty. gets − news is the number
+// of reuses; news/gets trending up under steady load means the pool is
+// being drained (e.g. GC cycles) faster than Put refills it.
+func PoolStats() (gets, news int64) {
+	return poolGets.Load(), poolNews.Load()
+}
 
 // Get returns a pooled verifier reset for the given query. Pair with Put
 // once Results has been read; the verifier must not be used after Put.
 func Get(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) *Verifier {
+	poolGets.Add(1)
 	v := pool.Get().(*Verifier)
 	v.Reset(costs, ds, q, tau, opts)
 	return v
