@@ -6,6 +6,7 @@
 //
 //	benchall [-scale 0.3] [-queries 5] [-qlen 60] [-only fig6,tab4] [-quick]
 //	benchall -json [-scale 0.3] [-qlen 60] [-quick]
+//	benchall -membench 1000000 [-scale 1.0] [-quick]
 //
 // -scale multiplies every dataset's trajectory count (1.0 ≈ tens of
 // thousands of trajectories; the default keeps a full run in minutes).
@@ -13,7 +14,10 @@
 // parallel-search sweep into BENCH_<rev>.json (see perfsnap.go), the
 // machine-readable perf trajectory of the query engine; -json -quick is
 // the CI smoke variant (one iteration per configuration, written to
-// BENCH_quick.json, no stable timings).
+// BENCH_quick.json, no stable timings). -membench N measures the
+// index-memory axis (see membench.go): pointer vs compact footprint and
+// latency on the SanFran-like workload at -scale plus a synthetic
+// N-trajectory stream, written to BENCH_mem_<rev>.json.
 package main
 
 import (
@@ -36,9 +40,17 @@ func main() {
 		quick   = flag.Bool("quick", false, "tiny quick run (overrides scale/queries/qlen)")
 		seed    = flag.Int64("seed", 1, "query sampling seed")
 		jsonOut = flag.Bool("json", false, "run the parallel-search sweep and write a BENCH_<rev>.json perf snapshot instead of the table suite")
+		membench = flag.Int("membench", 0, "run the index-memory snapshot (SanFran at -scale plus a synthetic N-trajectory stream) and write BENCH_mem_<rev>.json")
 	)
 	flag.Parse()
 
+	if *membench > 0 {
+		if err := writeMemBench(*membench, *scale, *qlen, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := writePerfSnapshot(*scale, *qlen, 0.1, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)

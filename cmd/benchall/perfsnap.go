@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -16,7 +19,10 @@ import (
 	"subtraj/internal/core"
 	"subtraj/internal/experiments"
 	"subtraj/internal/geo"
+	"subtraj/internal/index"
 	"subtraj/internal/mapmatch"
+	"subtraj/internal/traj"
+	"subtraj/internal/wed"
 	"subtraj/internal/workload"
 )
 
@@ -48,7 +54,41 @@ type perfSnapshot struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Quick      bool        `json:"quick,omitempty"`
 	Workload   perfWork    `json:"workload"`
+	// Index records the footprint of each index backend over the
+	// snapshot's workload — the memory axis next to the latency axis.
+	Index      []perfIndex `json:"index"`
 	Benchmarks []perfBench `json:"benchmarks"`
+}
+
+// perfIndex is one backend's memory row: the exact arena size for the
+// compact backend, a heap estimate for the pointer backend.
+type perfIndex struct {
+	Backend            string  `json:"backend"`
+	IndexBytes         int64   `json:"index_bytes"`
+	BytesPerTrajectory float64 `json:"bytes_per_trajectory"`
+	// ReductionVsPointer is pointer bytes ÷ this backend's bytes (compact
+	// rows only) — the headline memory ratio.
+	ReductionVsPointer float64 `json:"reduction_vs_pointer,omitempty"`
+}
+
+// indexRows measures the two engines' footprints against the dataset
+// size. Both backends are forced to full temporal capability first: the
+// pointer index builds its departure-sorted orders lazily, and comparing
+// it pre-build against the compact arena (which always carries the
+// frozen temporal lists) would flatter the pointer side.
+func indexRows(ptr, cmp *core.Engine) []perfIndex {
+	ptr.Backend().BuildTemporal()
+	cmp.Backend().BuildTemporal()
+	n := float64(ptr.Dataset().Len())
+	pb, cb := ptr.IndexBytes(), cmp.IndexBytes()
+	rows := []perfIndex{
+		{Backend: "pointer", IndexBytes: pb, BytesPerTrajectory: float64(pb) / n},
+		{Backend: "compact", IndexBytes: cb, BytesPerTrajectory: float64(cb) / n},
+	}
+	if cb > 0 {
+		rows[1].ReductionVsPointer = float64(pb) / float64(cb)
+	}
+	return rows
 }
 
 type perfWork struct {
@@ -153,13 +193,56 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 		snap.Benchmarks = append(snap.Benchmarks, bench)
 	}
 
+	// Backend pair: the identical queries on the single-shard pointer
+	// index versus the compact arena — served through a full persistence
+	// loop (freeze → save → OpenMapped), so the measured latency is the
+	// real mmap-backed decode cost and the loop itself is smoke-tested on
+	// every -quick CI run. Results are asserted bit-equal before timing;
+	// the Index section records the memory side of the trade.
+	engTopK := core.NewEngineShards(c.Data(model), costs, 1)
+	engCmp, closeCmp, err := mappedCompactEngine(c.Data(model), costs)
+	if err != nil {
+		return err
+	}
+	defer closeCmp()
+	for i, q := range queries {
+		qr := core.Query{Q: q, Tau: c.Tau(model, q, tauRatio), Parallelism: 1}
+		a, _, err := engTopK.SearchQuery(qr)
+		if err != nil {
+			return err
+		}
+		b, _, err := engCmp.SearchQuery(qr)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(a, b) {
+			return fmt.Errorf("pointer and compact backends disagree on query %d", i)
+		}
+	}
+	snap.Index = indexRows(engTopK, engCmp)
+	for _, d := range []struct {
+		name string
+		eng  *core.Engine
+	}{{"Search/backend=pointer", engTopK}, {"Search/backend=compact", engCmp}} {
+		fmt.Fprintf(os.Stderr, "[benchall] %s...\n", d.name)
+		runOne := func(i int) (*core.QueryStats, error) {
+			q := queries[i%len(queries)]
+			_, st, err := d.eng.SearchQuery(core.Query{Q: q, Tau: c.Tau(model, q, tauRatio), Parallelism: 1})
+			return st, err
+		}
+		bench, err := measureBench(d.name, quick, len(queries), runOne)
+		if err != nil {
+			return err
+		}
+		snap.Benchmarks = append(snap.Benchmarks, bench)
+	}
+
 	// Top-k configuration (k = 10): the legacy restart driver vs the
 	// incremental cross-round driver on the same workload, sequential
 	// (single shard, Parallelism 1) so the ratio is pure algorithmic
 	// saving — carried best table, candidate reuse, dynamic tightening —
 	// with no hardware parallelism mixed in.
 	const topkK = 10
-	engTopK := core.NewEngineShards(c.Data(model), costs, 1)
 	var legacyNs int64
 	for _, d := range []struct {
 		name   string
@@ -410,6 +493,51 @@ func measureFixed(name string, quick bool, ops int, runOne func(int) (*core.Quer
 	bench.BytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / n
 	counters.finalize(&bench, n)
 	return bench, nil
+}
+
+// mappedCompactEngine freezes ds into a compact arena, saves it to a
+// temporary file, and re-opens the file zero-copy: the returned engine
+// serves postings from the mmap, not from the freshly built heap arena,
+// so benching it proves the whole persistence loop. The saved bytes are
+// checked byte-identical to the in-heap arena before the build is
+// discarded. The close function unmaps and removes the file.
+func mappedCompactEngine(ds *traj.Dataset, costs wed.FilterCosts) (*core.Engine, func() error, error) {
+	built := index.FreezeDataset(ds)
+	dir, err := os.MkdirTemp("", "subtraj-bench-")
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*core.Engine, func() error, error) {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, "index.sbtj")
+	f, err := os.Create(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := built.Save(f); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	mapped, err := index.OpenMapped(path)
+	if err != nil {
+		return fail(err)
+	}
+	if !bytes.Equal(mapped.Bytes(), built.Bytes()) {
+		mapped.Close()
+		return fail(fmt.Errorf("mapped arena differs from the built arena"))
+	}
+	eng := core.NewEngineWithBackend(ds, index.NewOverlay(mapped), costs)
+	closer := func() error {
+		err := mapped.Close()
+		os.RemoveAll(dir)
+		return err
+	}
+	return eng, closer, nil
 }
 
 // gitRev returns the short HEAD revision, or "dev" outside a git checkout.

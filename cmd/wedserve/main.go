@@ -7,7 +7,8 @@
 //
 //	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
 //	         [-load workload.gob] [-cache 1024] [-concurrency 0]
-//	         [-shards 0] [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
+//	         [-shards 0] [-index pointer|compact] [-index-file idx.sbtj]
+//	         [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
 //	         [-slow-query 250ms] [-trace-buffer 64] [-no-metrics]
 //	         [-debug-addr localhost:6060]
 //
@@ -68,6 +69,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 1024, "LRU result-cache entries (negative disables)")
 		concurrency = flag.Int("concurrency", 0, "max in-flight engine queries (0 = 2x GOMAXPROCS)")
 		shards      = flag.Int("shards", 0, "index trajectory shards = per-query parallelism ceiling (0 = one per CPU)")
+		indexKind   = flag.String("index", "pointer", "index backend: pointer (sharded in-RAM) | compact (frozen bit-packed arena, mmap-able)")
+		indexFile   = flag.String("index-file", "", "compact arena path: open zero-copy via mmap if it exists, else build, save, and re-open (requires -index compact)")
 		maxPar      = flag.Int("max-parallelism", 0, "cap shard workers per query (0 = min(shards, GOMAXPROCS); 1 = sequential)")
 		maxBatch    = flag.Int("max-batch", 64, "max subqueries per /v1/batch request")
 		gpsSigma    = flag.Float64("gps-sigma", 20, "GPS noise stddev in metres for map matching (0 disables the GPS endpoints)")
@@ -116,11 +119,12 @@ func main() {
 	}
 
 	start = time.Now()
-	eng, err := subtraj.NewEngineShards(data, costs, *shards)
+	eng, err := buildEngine(data, costs, *indexKind, *indexFile, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("  engine (%s, %d shards) built in %s", *model, eng.NumShards(), time.Since(start).Round(time.Millisecond))
+	log.Printf("  engine (%s, %s index, %d shards, %s) built in %s",
+		*model, eng.IndexKind(), eng.NumShards(), byteSize(eng.IndexBytes()), time.Since(start).Round(time.Millisecond))
 
 	// The alphabet bound keeps out-of-range symbols in request JSON from
 	// reaching the cost models, which index per-symbol tables directly.
@@ -203,6 +207,67 @@ func main() {
 	log.Printf("served %d searches, %d batches, %d appends; cache hits %d/%d; exiting",
 		snap.Requests.Search, snap.Requests.Batch, snap.Requests.Append,
 		snap.Cache.Hits, snap.Cache.Hits+snap.Cache.Misses)
+}
+
+// buildEngine constructs the index backend the flags select. With
+// -index compact and an -index-file that exists, the arena is opened
+// zero-copy via mmap; with a file that does not exist yet, the index is
+// built in memory, saved, and re-opened from the mapping so the serving
+// process genuinely runs off the page cache.
+func buildEngine(data *subtraj.Dataset, costs subtraj.FilterCosts, kind, file string, shards int) (*subtraj.Engine, error) {
+	switch kind {
+	case "pointer":
+		if file != "" {
+			return nil, fmt.Errorf("-index-file requires -index compact")
+		}
+		return subtraj.NewEngineShards(data, costs, shards)
+	case "compact":
+		if file == "" {
+			return subtraj.NewEngineCompact(data, costs)
+		}
+		if _, err := os.Stat(file); err == nil {
+			eng, _, err := subtraj.OpenMappedEngine(data, costs, file)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("  compact index mapped from %s", file)
+			return eng, nil
+		}
+		eng, err := subtraj.NewEngineCompact(data, costs)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Create(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.SaveIndex(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		log.Printf("  compact index saved to %s; re-opening mapped", file)
+		eng, _, err = subtraj.OpenMappedEngine(data, costs, file)
+		return eng, err
+	default:
+		return nil, fmt.Errorf("unknown index backend %q (pointer|compact)", kind)
+	}
+}
+
+// byteSize renders a byte count human-readably for startup logs.
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func configByName(name string) (subtraj.WorkloadConfig, error) {

@@ -2,6 +2,8 @@ package subtraj
 
 import (
 	"errors"
+	"fmt"
+	"io"
 
 	"subtraj/internal/core"
 	"subtraj/internal/index"
@@ -34,8 +36,65 @@ func NewEngineShards(ds *Dataset, costs FilterCosts, shards int) (*Engine, error
 	return &Engine{inner: core.NewEngineShards(ds, costs, shards)}, nil
 }
 
+// NewEngineCompact indexes the dataset into the memory-optimal compact
+// backend: postings are frozen into one flat bit-packed arena instead
+// of pointer-rich per-symbol slices. Queries return results bit-equal to
+// the pointer backend at a fraction of the memory; Appends land in a
+// small mutable tail merged at query time. Save the frozen snapshot with
+// SaveIndex and re-open it zero-copy with OpenMappedEngine.
+func NewEngineCompact(ds *Dataset, costs FilterCosts) (*Engine, error) {
+	if ds == nil || costs == nil {
+		return nil, errors.New("subtraj: nil dataset or cost model")
+	}
+	return &Engine{inner: core.NewEngineCompact(ds, costs)}, nil
+}
+
+// SaveIndex writes the engine's compact index snapshot to w (the
+// versioned arena format OpenMappedEngine maps back). Errors unless the
+// engine uses the compact backend with no unfrozen appends.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	ov, ok := e.inner.Backend().(*index.Overlay)
+	if !ok {
+		return errors.New("subtraj: SaveIndex requires the compact backend (NewEngineCompact)")
+	}
+	if ov.TailLen() > 0 {
+		return errors.New("subtraj: compact index has unfrozen appends; rebuild with NewEngineCompact before saving")
+	}
+	return ov.Base().Save(w)
+}
+
+// OpenMappedEngine builds an engine over ds from a compact index file
+// written by SaveIndex, mapped zero-copy (the postings live in the page
+// cache, not the Go heap). The file must describe exactly ds's
+// trajectories. The mapping is released when the process exits or the
+// returned close function is called (after which the engine must not be
+// used).
+func OpenMappedEngine(ds *Dataset, costs FilterCosts, path string) (*Engine, func() error, error) {
+	if ds == nil || costs == nil {
+		return nil, nil, errors.New("subtraj: nil dataset or cost model")
+	}
+	c, err := index.OpenMapped(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.NumTrajectories() != ds.Len() {
+		c.Close()
+		return nil, nil, fmt.Errorf("subtraj: index file describes %d trajectories, dataset has %d", c.NumTrajectories(), ds.Len())
+	}
+	eng := &Engine{inner: core.NewEngineWithBackend(ds, index.NewOverlay(c), costs)}
+	return eng, c.Close, nil
+}
+
 // NumShards returns the index partition count.
 func (e *Engine) NumShards() int { return e.inner.NumShards() }
+
+// IndexBytes returns the index backend's memory footprint: the exact
+// arena size for the compact backend, a heap estimate for the pointer
+// backend.
+func (e *Engine) IndexBytes() int64 { return e.inner.IndexBytes() }
+
+// IndexKind names the index backend family ("pointer" or "compact").
+func (e *Engine) IndexKind() string { return e.inner.IndexKind() }
 
 // Inner exposes the internal engine for the experiment harness.
 func (e *Engine) Inner() *core.Engine { return e.inner }

@@ -40,7 +40,7 @@ import (
 // (Sub/Ins/Del) from several goroutines.
 type Engine struct {
 	ds    *traj.Dataset
-	sidx  *index.Sharded
+	idx   index.Backend
 	costs wed.FilterCosts
 
 	// BuildTime records index construction time (Table 6).
@@ -61,24 +61,49 @@ func NewEngine(ds *traj.Dataset, costs wed.FilterCosts) *Engine {
 func NewEngineShards(ds *traj.Dataset, costs wed.FilterCosts, shards int) *Engine {
 	start := time.Now()
 	sidx := index.BuildSharded(ds, shards)
-	return &Engine{ds: ds, sidx: sidx, costs: costs, BuildTime: time.Since(start)}
+	return &Engine{ds: ds, idx: sidx, costs: costs, BuildTime: time.Since(start)}
 }
 
 // NewEngineWithIndex wraps a prebuilt flat index as a single-shard engine
 // (used by dataset-size sweeps that share one index build).
 func NewEngineWithIndex(ds *traj.Dataset, inv *index.Inverted, costs wed.FilterCosts) *Engine {
-	return &Engine{ds: ds, sidx: index.ShardedFromInverted(inv), costs: costs}
+	return &Engine{ds: ds, idx: index.ShardedFromInverted(inv), costs: costs}
+}
+
+// NewEngineCompact indexes the dataset into the memory-optimal compact
+// backend: the postings are frozen into one flat bit-packed arena (an
+// index.Overlay with an empty mutable tail for later appends). Queries
+// return results bit-equal to the pointer backend; memory drops by the
+// arena-vs-pointer ratio benchall reports.
+func NewEngineCompact(ds *traj.Dataset, costs wed.FilterCosts) *Engine {
+	start := time.Now()
+	idx := index.NewOverlay(index.FreezeDataset(ds))
+	return &Engine{ds: ds, idx: idx, costs: costs, BuildTime: time.Since(start)}
+}
+
+// NewEngineWithBackend wraps any prebuilt index backend — e.g. an
+// index.Overlay around a snapshot from index.OpenMapped. The backend must
+// describe exactly ds's trajectories.
+func NewEngineWithBackend(ds *traj.Dataset, idx index.Backend, costs wed.FilterCosts) *Engine {
+	return &Engine{ds: ds, idx: idx, costs: costs}
 }
 
 // Dataset returns the indexed dataset.
 func (e *Engine) Dataset() *traj.Dataset { return e.ds }
 
-// Index returns the sharded inverted index.
-func (e *Engine) Index() *index.Sharded { return e.sidx }
+// Backend returns the index backend.
+func (e *Engine) Backend() index.Backend { return e.idx }
+
+// IndexBytes returns the backend's memory footprint (exact for compact
+// arenas, a heap estimate for pointer backends).
+func (e *Engine) IndexBytes() int64 { return e.idx.IndexBytes() }
+
+// IndexKind names the backend family ("pointer" or "compact").
+func (e *Engine) IndexKind() string { return e.idx.Kind() }
 
 // NumShards returns the index partition count — the ceiling on one
 // query's effective parallelism.
-func (e *Engine) NumShards() int { return e.sidx.NumShards() }
+func (e *Engine) NumShards() int { return e.idx.NumShards() }
 
 // Costs returns the cost model.
 func (e *Engine) Costs() wed.FilterCosts { return e.costs }
@@ -86,7 +111,7 @@ func (e *Engine) Costs() wed.FilterCosts { return e.costs }
 // Append indexes one more trajectory (incremental update, §4.1).
 func (e *Engine) Append(t traj.Trajectory) int32 {
 	id := e.ds.Add(t)
-	e.sidx.Append(id, e.ds.Get(id))
+	e.idx.Append(id, e.ds.Get(id))
 	e.temporalBuilt = false // departure-sorted postings are stale
 	return id
 }
@@ -95,7 +120,7 @@ func (e *Engine) Append(t traj.Trajectory) int32 {
 // (and after appends invalidate them).
 func (e *Engine) ensureTemporalIndex() {
 	if !e.temporalBuilt {
-		e.sidx.BuildTemporal()
+		e.idx.BuildTemporal()
 		e.temporalBuilt = true
 	}
 }
@@ -236,10 +261,10 @@ func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
 		// and the problem is ill-posed.
 		return nil, nil, fmt.Errorf("%w: τ = %g, wed(ε, Q) = %g; query would match empty subtrajectories", ErrTauTooLarge, qr.Tau, wed.SumIns(e.costs, qr.Q))
 	}
-	stats := &QueryStats{Shards: e.sidx.NumShards()}
+	stats := &QueryStats{Shards: e.idx.NumShards()}
 
 	start := time.Now()
-	plan, err := filter.BuildPlan(e.costs, e.sidx, qr.Q, qr.Tau)
+	plan, err := filter.BuildPlan(e.costs, e.idx, qr.Q, qr.Tau)
 	stats.MinCandTime = time.Since(start)
 	if err != nil {
 		return nil, nil, err

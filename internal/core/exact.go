@@ -1,6 +1,7 @@
 package core
 
 import (
+	"subtraj/internal/index"
 	"subtraj/internal/traj"
 )
 
@@ -22,13 +23,14 @@ func (e *Engine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
 	// chosen symbol does not depend on the shard count.
 	rarest := 0
 	for i, sym := range q {
-		if e.sidx.Freq(sym) < e.sidx.Freq(q[rarest]) {
+		if e.idx.Freq(sym) < e.idx.Freq(q[rarest]) {
 			rarest = i
 		}
 	}
 	var out []traj.Match
-	for sh := 0; sh < e.sidx.NumShards(); sh++ {
-		for _, post := range e.sidx.Shard(sh).Postings(q[rarest]) {
+	for sh := 0; sh < e.idx.NumShards(); sh++ {
+		src := e.idx.Source(sh)
+		for _, post := range src.Postings(q[rarest]) {
 			s := int(post.Pos) - rarest
 			p := e.ds.Path(post.ID)
 			if s < 0 || s+len(q) > len(p) {
@@ -42,6 +44,7 @@ func (e *Engine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
 				})
 			}
 		}
+		index.ReleaseSource(src)
 	}
 	// Canonical result order (shard concatenation interleaves IDs).
 	traj.SortMatches(out)

@@ -30,7 +30,7 @@ func (e *Engine) EffectiveParallelism(p int) int {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	if n := e.sidx.NumShards(); p > n {
+	if n := e.idx.NumShards(); p > n {
 		p = n
 	}
 	if p < 1 {
@@ -73,8 +73,10 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
-	for s := 0; s < e.sidx.NumShards(); s++ {
-		cands = e.shardCandidates(qr, plan, e.sidx.Shard(s), cands)
+	for s := 0; s < e.idx.NumShards(); s++ {
+		src := e.idx.Source(s)
+		cands = e.shardCandidates(qr, plan, src, cands)
+		index.ReleaseSource(src)
 	}
 	filter.GroupByTrajectory(cands)
 	stats.LookupTime = time.Since(start)
@@ -151,7 +153,7 @@ type shardOut struct {
 // deterministic because shards partition trajectory IDs (per-shard result
 // sets are disjoint) and every list arrives in (ID, S, T) order.
 func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *QueryStats) []traj.Match {
-	numShards := e.sidx.NumShards()
+	numShards := e.idx.NumShards()
 	outs := make([]shardOut, numShards)
 	fanOutShards(numShards, workers, func(s int) {
 		outs[s] = e.runShard(qr, plan, s)
@@ -181,7 +183,9 @@ func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
 	var out shardOut
 	start := time.Now()
 	buf := getCandBuf()
-	cands := e.shardCandidates(qr, plan, e.sidx.Shard(s), *buf)
+	src := e.idx.Source(s)
+	cands := e.shardCandidates(qr, plan, src, *buf)
+	index.ReleaseSource(src)
 	filter.GroupByTrajectory(cands)
 	out.lookup = time.Since(start)
 	out.cands = len(cands)

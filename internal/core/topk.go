@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"subtraj/internal/filter"
+	"subtraj/internal/index"
 	"subtraj/internal/traj"
 	"subtraj/internal/verify"
 	"subtraj/internal/wed"
@@ -90,7 +91,7 @@ func (e *Engine) SearchTopKStats(q []traj.Symbol, k int, opts TopKOptions) ([]tr
 		return nil, nil, ErrEmptyQuery
 	}
 	if k <= 0 {
-		return nil, &QueryStats{Shards: e.sidx.NumShards()}, nil
+		return nil, &QueryStats{Shards: e.idx.NumShards()}, nil
 	}
 	if opts.Legacy {
 		return e.searchTopKLegacy(q, k, opts.Parallelism)
@@ -227,7 +228,7 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 	tau := ceiling / topKStartDiv
 	st := newTopKState(k)
 	workers := e.EffectiveParallelism(opts.Parallelism)
-	stats := &QueryStats{Shards: e.sidx.NumShards(), Workers: workers}
+	stats := &QueryStats{Shards: e.idx.NumShards(), Workers: workers}
 
 	// The sequential path holds one verifier across every round: Reset
 	// re-banding it to each round's τ keeps the trie arenas, match
@@ -242,7 +243,7 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 	for {
 		roundStart := time.Now()
 		start := roundStart
-		plan, err := filter.BuildPlan(e.costs, e.sidx, q, tau)
+		plan, err := filter.BuildPlan(e.costs, e.idx, q, tau)
 		stats.MinCandTime += time.Since(start)
 		if err != nil {
 			return nil, nil, err
@@ -291,8 +292,10 @@ func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkSta
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
-	for s := 0; s < e.sidx.NumShards(); s++ {
-		cands = plan.Candidates(e.sidx.Shard(s), cands)
+	for s := 0; s < e.idx.NumShards(); s++ {
+		src := e.idx.Source(s)
+		cands = plan.Candidates(src, cands)
+		index.ReleaseSource(src)
 	}
 	filter.GroupByTrajectory(cands)
 	stats.LookupTime += time.Since(start)
@@ -314,7 +317,7 @@ func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkSta
 // topkState), so Parallelism 1 vs N stay bit-equal even though the
 // per-round work counters may differ with scheduling.
 func (e *Engine) topKRoundSharded(q []traj.Symbol, plan *filter.Plan, tau float64, workers int, st *topkState, stats *QueryStats) {
-	numShards := e.sidx.NumShards()
+	numShards := e.idx.NumShards()
 	outs := make([]topkShardOut, numShards)
 	fanOutShards(numShards, workers, func(s int) {
 		outs[s] = e.topKRunShard(q, plan, tau, s, st)
@@ -345,7 +348,9 @@ func (e *Engine) topKRunShard(q []traj.Symbol, plan *filter.Plan, tau float64, s
 	var out topkShardOut
 	start := time.Now()
 	buf := getCandBuf()
-	cands := plan.Candidates(e.sidx.Shard(s), *buf)
+	src := e.idx.Source(s)
+	cands := plan.Candidates(src, *buf)
+	index.ReleaseSource(src)
 	filter.GroupByTrajectory(cands)
 	out.lookup = time.Since(start)
 	out.enumerated = len(cands)
@@ -399,7 +404,7 @@ func verifyTopKGroups(ver *verify.Verifier, cands []filter.Candidate, st *topkSt
 func (e *Engine) searchTopKLegacy(q []traj.Symbol, k, parallelism int) ([]traj.Match, *QueryStats, error) {
 	ceiling := e.topKCeiling(q)
 	tau := ceiling / topKStartDiv
-	merged := &QueryStats{Shards: e.sidx.NumShards()}
+	merged := &QueryStats{Shards: e.idx.NumShards()}
 	for {
 		roundStart := time.Now()
 		res, st, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})

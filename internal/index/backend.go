@@ -1,0 +1,113 @@
+package index
+
+import "subtraj/internal/traj"
+
+// Backend is the engine-facing index contract: everything core.Engine
+// needs to plan (global frequencies, intervals), fan out (per-shard
+// posting sources), ingest (Append), and account for (sizes). Two
+// implementations exist: Sharded, the pointer-rich in-RAM index built by
+// PR 2, and Overlay, a frozen Compact arena paired with a mutable
+// Inverted tail. The query path is backend-agnostic; the determinism
+// contract (bit-equal sorted matches at every parallelism) holds across
+// both because global statistics — and therefore the MinCand plan — are
+// backend-independent.
+type Backend interface {
+	// Freq returns the global n(q) (the MinCand objective input).
+	Freq(q traj.Symbol) int
+	// NumShards returns how many posting sources a query can fan out to.
+	NumShards() int
+	// Source returns the i-th shard's posting source. Sources may be
+	// pooled per-query cursors: callers must pass each one to
+	// ReleaseSource when done with its postings.
+	Source(i int) PostingSource
+	// Append adds one trajectory (IDs dense and increasing). Not safe
+	// against concurrent readers; SafeEngine serialises.
+	Append(id int32, t *traj.Trajectory)
+	// BuildTemporal materialises any departure-sorted orders invalidated
+	// since the last call (§4.3).
+	BuildTemporal()
+	// Interval returns trajectory id's [departure, arrival] span.
+	Interval(id int32) (lo, hi float64)
+	// IntervalOverlaps reports whether id's interval intersects [lo, hi].
+	IntervalOverlaps(id int32, lo, hi float64) bool
+	NumPostings() int
+	NumSymbols() int
+	NumTrajectories() int
+	// IndexBytes returns the backend's memory footprint: exact arena
+	// bytes for compact backends, a heap estimate for pointer backends.
+	IndexBytes() int64
+	// Kind names the backend family ("pointer" or "compact") for stats,
+	// metrics, and bench output.
+	Kind() string
+}
+
+var (
+	_ Backend = (*Sharded)(nil)
+	_ Backend = (*Overlay)(nil)
+)
+
+// ReleaseSource returns a pooled posting source to its pool; sources
+// without pooling (plain shards) pass through untouched. Call exactly
+// once per Source the moment its last returned slice has been consumed.
+func ReleaseSource(src PostingSource) {
+	if r, ok := src.(interface{ Release() }); ok {
+		r.Release()
+	}
+}
+
+// --- Sharded as a Backend -------------------------------------------------
+
+// Source returns shard i as a PostingSource (no pooling: shard reads are
+// zero-copy views, so the source is the shard itself).
+func (x *Sharded) Source(i int) PostingSource { return &x.shards[i] }
+
+// NumTrajectories returns the number of indexed trajectories.
+func (x *Sharded) NumTrajectories() int { return len(x.departures) }
+
+// Kind names the backend family for stats and bench output.
+func (x *Sharded) Kind() string { return "pointer" }
+
+const (
+	postingBytes = 8 // unsafe.Sizeof(Posting{})
+	// mapEntryBytes approximates the per-entry overhead of a Go map
+	// (bucket share, key, slice header) for footprint estimates.
+	mapEntryBytes = 48
+)
+
+// listMapBytes estimates the heap held by one symbol→postings map.
+func listMapBytes(m map[traj.Symbol][]Posting) int64 {
+	var b int64
+	for _, list := range m {
+		b += int64(cap(list))*postingBytes + mapEntryBytes
+	}
+	return b
+}
+
+// IndexBytes estimates the heap footprint of the pointer backend:
+// postings slices (main and temporal orders), map overheads, interval
+// slices, and the global frequency table. An estimate, not an
+// accounting — it exists so benchall can put the two backends on one
+// axis; the compact side of that comparison is exact.
+func (x *Sharded) IndexBytes() int64 {
+	var b int64
+	if x.flat != nil {
+		b = x.flat.IndexBytes()
+	} else {
+		for s := range x.shards {
+			b += listMapBytes(x.shards[s].lists)
+			b += listMapBytes(x.shards[s].byDeparture)
+		}
+		b += int64(cap(x.departures)+cap(x.arrivals)) * 8
+	}
+	b += int64(len(x.freq)) * (8 + mapEntryBytes)
+	return b
+}
+
+// IndexBytes estimates the heap footprint of the flat pointer index.
+func (inv *Inverted) IndexBytes() int64 {
+	b := listMapBytes(inv.lists) + listMapBytes(inv.byDeparture)
+	return b + int64(cap(inv.departures)+cap(inv.arrivals))*8
+}
+
+// NumTrajectories returns the number of indexed trajectories.
+func (inv *Inverted) NumTrajectories() int { return len(inv.departures) }

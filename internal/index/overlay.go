@@ -1,0 +1,162 @@
+package index
+
+import (
+	"sync"
+
+	"subtraj/internal/traj"
+)
+
+// Overlay is the compact backend's answer to ingestion: a frozen Compact
+// snapshot (immutable, possibly an mmap of a saved file) overlaid with a
+// small mutable Inverted tail that absorbs Appends. Searches fan out over
+// both as two shards with disjoint ID ranges — snapshot IDs are
+// [0, tailBase), tail IDs [tailBase, ∞) — so the shard merge stays
+// deterministic and bit-equal to a flat index over the union. The tail
+// stores trajectories under LOCAL IDs (global − tailBase) so its interval
+// slices stay dense; the rebase happens once, at the posting-source
+// boundary. Re-freezing the union into a new snapshot (compaction) is the
+// natural maintenance step and is cheap to do offline via Freeze+Save.
+type Overlay struct {
+	base     *Compact
+	tail     *Inverted
+	tailBase int32
+}
+
+// NewOverlay wraps a frozen snapshot with an empty mutable tail.
+func NewOverlay(base *Compact) *Overlay {
+	return &Overlay{
+		base:     base,
+		tail:     &Inverted{lists: make(map[traj.Symbol][]Posting)},
+		tailBase: int32(base.NumTrajectories()),
+	}
+}
+
+// Base exposes the frozen snapshot (for Save and stats).
+func (o *Overlay) Base() *Compact { return o.base }
+
+// TailLen returns how many trajectories the mutable tail holds.
+func (o *Overlay) TailLen() int { return len(o.tail.departures) }
+
+// NumShards: the snapshot and the tail, always.
+func (o *Overlay) NumShards() int { return 2 }
+
+// Source returns shard 0 (the frozen snapshot) or shard 1 (the tail,
+// rebased to global IDs). Both are pooled cursors: ReleaseSource them.
+func (o *Overlay) Source(i int) PostingSource {
+	if i == 0 {
+		return o.base.AcquireSource()
+	}
+	s := overlayTailSources.Get().(*overlayTailSource)
+	s.o = o
+	return s
+}
+
+// Freq returns the global n(q): snapshot count (straight from the symbol
+// table) plus tail count.
+func (o *Overlay) Freq(q traj.Symbol) int { return o.base.Freq(q) + o.tail.Freq(q) }
+
+// Append adds one trajectory to the mutable tail. IDs are global and
+// dense, continuing where the snapshot ends.
+func (o *Overlay) Append(id int32, t *traj.Trajectory) {
+	if int(id) != o.NumTrajectories() {
+		panic("index: non-sequential overlay append")
+	}
+	o.tail.Append(id-o.tailBase, t)
+}
+
+// BuildTemporal refreshes the tail's departure order; the snapshot's is
+// frozen into the arena and never goes stale.
+func (o *Overlay) BuildTemporal() {
+	if o.tail.byDeparture == nil {
+		o.tail.BuildTemporal()
+	}
+}
+
+// Interval returns trajectory id's [departure, arrival] span.
+func (o *Overlay) Interval(id int32) (lo, hi float64) {
+	if id < o.tailBase {
+		return o.base.Interval(id)
+	}
+	return o.tail.Interval(id - o.tailBase)
+}
+
+// IntervalOverlaps reports whether id's interval intersects [lo, hi].
+func (o *Overlay) IntervalOverlaps(id int32, lo, hi float64) bool {
+	if id < o.tailBase {
+		return o.base.IntervalOverlaps(id, lo, hi)
+	}
+	return o.tail.IntervalOverlaps(id-o.tailBase, lo, hi)
+}
+
+// NumPostings returns the total posting count across snapshot and tail.
+func (o *Overlay) NumPostings() int { return o.base.NumPostings() + o.tail.NumPostings() }
+
+// NumSymbols counts distinct symbols across snapshot and tail.
+func (o *Overlay) NumSymbols() int {
+	n := o.base.NumSymbols()
+	for sym := range o.tail.lists {
+		if o.base.Freq(sym) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumTrajectories returns the combined trajectory count.
+func (o *Overlay) NumTrajectories() int { return int(o.tailBase) + len(o.tail.departures) }
+
+// IndexBytes: exact arena size plus the (estimated) tail heap. With an
+// empty tail this is exact.
+func (o *Overlay) IndexBytes() int64 { return o.base.IndexBytes() + o.tail.IndexBytes() }
+
+// Kind names the backend family for stats and bench output.
+func (o *Overlay) Kind() string { return "compact" }
+
+// overlayTailSource adapts the tail's local-ID postings to the global ID
+// space: every returned posting is rebased by +tailBase into pooled
+// scratch. Interval checks take global IDs and dispatch through the
+// overlay, since candidate-level prunes may probe any ID the source
+// returned.
+type overlayTailSource struct {
+	o       *Overlay
+	scratch []Posting
+}
+
+var overlayTailSources = sync.Pool{New: func() any { return new(overlayTailSource) }}
+
+func (s *overlayTailSource) Release() {
+	s.o = nil
+	if cap(s.scratch) > maxRetainedPostings {
+		s.scratch = nil
+	}
+	overlayTailSources.Put(s)
+}
+
+func (s *overlayTailSource) rebase(list []Posting) []Posting {
+	s.scratch = s.scratch[:0]
+	for _, p := range list {
+		s.scratch = append(s.scratch, Posting{ID: p.ID + s.o.tailBase, Pos: p.Pos})
+	}
+	return s.scratch
+}
+
+// Postings returns the tail's L_q under global IDs. Valid until the next
+// call on this source; do not modify.
+func (s *overlayTailSource) Postings(q traj.Symbol) []Posting {
+	return s.rebase(s.o.tail.Postings(q))
+}
+
+// PostingsInWindow returns the tail's postings of q departing in
+// [lo, hi], under global IDs (tail temporal order must be current —
+// Engine rebuilds it after appends).
+func (s *overlayTailSource) PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting {
+	return s.rebase(s.o.tail.PostingsInWindow(q, lo, hi))
+}
+
+// IntervalOverlaps reports whether (global) trajectory id's interval
+// intersects [lo, hi].
+func (s *overlayTailSource) IntervalOverlaps(id int32, lo, hi float64) bool {
+	return s.o.IntervalOverlaps(id, lo, hi)
+}
+
+var _ PostingSource = (*overlayTailSource)(nil)

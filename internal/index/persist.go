@@ -159,12 +159,3 @@ func LoadIndex(r io.Reader) (*Inverted, error) {
 	}
 	return inv, nil
 }
-
-// preallocCap bounds a capacity hint from untrusted input: trust it up to
-// maxTrusted elements, above that grow from a small start.
-func preallocCap(n uint64, maxTrusted uint64) int {
-	if n <= maxTrusted {
-		return int(n)
-	}
-	return int(maxTrusted)
-}

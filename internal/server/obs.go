@@ -107,6 +107,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		nil, func() float64 { return float64(s.eng.NumTrajectories()) })
 	r.GaugeFunc("subtraj_engine_shards", "Index partitions (per-query parallelism ceiling).",
 		nil, func() float64 { return float64(s.eng.NumShards()) })
+	r.GaugeFunc("subtraj_index_bytes",
+		"Index memory footprint (exact arena size for the compact backend, heap estimate for pointer).",
+		obs.L("backend", s.eng.IndexKind()), func() float64 { return float64(s.eng.IndexBytes()) })
+	r.GaugeFunc("subtraj_index_bytes_per_trajectory",
+		"Index bytes divided by indexed trajectories.",
+		obs.L("backend", s.eng.IndexKind()), func() float64 {
+			if n := s.eng.NumTrajectories(); n > 0 {
+				return float64(s.eng.IndexBytes()) / float64(n)
+			}
+			return 0
+		})
 	r.GaugeFunc("subtraj_band_ratio",
 		"Fraction of DP cells the banded verification actually computed.",
 		nil, func() float64 {

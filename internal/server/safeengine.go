@@ -168,6 +168,18 @@ func (s *SafeEngine) SearchTopKStats(q []traj.Symbol, k int, opts core.TopKOptio
 // any single query's parallelism.
 func (s *SafeEngine) NumShards() int { return s.eng.NumShards() }
 
+// IndexBytes returns the index backend's memory footprint under the read
+// lock (Append grows it under the write lock).
+func (s *SafeEngine) IndexBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.IndexBytes()
+}
+
+// IndexKind names the index backend family ("pointer" or "compact");
+// fixed at construction, so no lock is needed.
+func (s *SafeEngine) IndexKind() string { return s.eng.IndexKind() }
+
 // TemporalReady reports whether the departure-sorted temporal postings
 // are built and current — the engine-readiness signal /healthz and the
 // metrics scraper expose. Taken under the read lock because Append

@@ -721,6 +721,14 @@ type StatsSnapshot struct {
 		// Shards is the index partition count — the per-query
 		// parallelism ceiling.
 		Shards int `json:"shards"`
+		// IndexBackend names the index family ("pointer" or "compact");
+		// IndexBytes is its memory footprint (exact arena size for
+		// compact, heap estimate for pointer) and BytesPerTrajectory the
+		// same divided by the trajectory count — the memory-scaling
+		// figure benchall snapshots record.
+		IndexBackend       string  `json:"index_backend"`
+		IndexBytes         int64   `json:"index_bytes"`
+		BytesPerTrajectory float64 `json:"bytes_per_trajectory"`
 	} `json:"engine"`
 	Requests struct {
 		Search   int64 `json:"search"`
@@ -827,6 +835,11 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Engine.Trajectories = s.eng.NumTrajectories()
 	out.Engine.Generation = s.eng.Generation()
 	out.Engine.Shards = s.eng.NumShards()
+	out.Engine.IndexBackend = s.eng.IndexKind()
+	out.Engine.IndexBytes = s.eng.IndexBytes()
+	if out.Engine.Trajectories > 0 {
+		out.Engine.BytesPerTrajectory = float64(out.Engine.IndexBytes) / float64(out.Engine.Trajectories)
+	}
 	out.Requests.Search = s.stats.search.Load()
 	out.Requests.TopK = s.stats.topk.Load()
 	out.Requests.Temporal = s.stats.temporal.Load()
