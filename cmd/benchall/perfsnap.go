@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,7 +23,9 @@ import (
 	"subtraj/internal/geo"
 	"subtraj/internal/index"
 	"subtraj/internal/mapmatch"
+	"subtraj/internal/server"
 	"subtraj/internal/traj"
+	"subtraj/internal/wal"
 	"subtraj/internal/wed"
 	"subtraj/internal/workload"
 )
@@ -138,6 +142,19 @@ type perfBench struct {
 	// ns/op(match+search) ÷ ns/op(symbols-only) — the end-to-end cost of
 	// accepting raw GPS instead of symbols.
 	OverheadVsSymbols float64 `json:"overhead_vs_symbols,omitempty"`
+	// AppendsPerSec (DurableAppend configurations) is the headline ingest
+	// throughput: 1e9 / ns_per_op.
+	AppendsPerSec float64 `json:"appends_per_sec,omitempty"`
+	// OverheadVsVolatile, on the durable DurableAppend entries, is
+	// ns/op(this sync policy) ÷ ns/op(volatile) — the price of the WAL.
+	OverheadVsVolatile float64 `json:"overhead_vs_volatile,omitempty"`
+	// DeadlineNs/DeadlineExceeded (the TopK cancellation entry) record the
+	// context deadline and whether the query was actually cut short by it
+	// (false means the query finished inside the deadline). NsPerOp on
+	// that entry is the observed return latency, asserted ≤ 2× deadline
+	// before the snapshot is written.
+	DeadlineNs       int64 `json:"deadline_ns,omitempty"`
+	DeadlineExceeded bool  `json:"deadline_exceeded,omitempty"`
 }
 
 // perfShardCounts is the sweep of BenchmarkParallelSearch.
@@ -334,6 +351,29 @@ func writePerfSnapshot(scale float64, qlen int, tauRatio float64, quick bool) er
 		snap.Benchmarks = append(snap.Benchmarks, bench)
 	}
 
+	// Durable-append configurations: the same ingest stream through the
+	// volatile SafeEngine and through the WAL under each sync policy, on
+	// private dataset clones so the shared snapshot workload stays
+	// pristine. ns/op is dominated by the fsync policy — always pays one
+	// fsync per append, interval amortizes it, never measures pure
+	// framing cost.
+	durBenches, err := durableAppendBenches(c.Data(model), costs, quick)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks = append(snap.Benchmarks, durBenches...)
+
+	// Cancellation latency check: a top-k query under a 50 ms context
+	// deadline must hand control back promptly — the engine checks the
+	// context between candidate groups and τ-growth rounds, so the return
+	// latency is bounded by one group's verification, asserted here at
+	// ≤ 2× the deadline. A violation fails the whole snapshot.
+	cancelBench, err := cancelledTopKBench(engTopK, queries, topkK, quick)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks = append(snap.Benchmarks, cancelBench)
+
 	path := "BENCH_" + snap.Rev + ".json"
 	if quick {
 		path = "BENCH_quick.json"
@@ -492,6 +532,133 @@ func measureFixed(name string, quick bool, ops int, runOne func(int) (*core.Quer
 	bench.AllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / n
 	bench.BytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / n
 	counters.finalize(&bench, n)
+	return bench, nil
+}
+
+// durableAppendBenches measures the same ingest stream through the
+// volatile SafeEngine and through the WAL under each sync policy. Each
+// configuration appends to a private clone of the snapshot dataset and a
+// throwaway durable directory, so nothing leaks into later sections.
+func durableAppendBenches(src *traj.Dataset, costs wed.FilterCosts, quick bool) ([]perfBench, error) {
+	ops := 400
+	if quick {
+		ops = 3
+	}
+	payloads := make([]traj.Trajectory, min(ops, len(src.Trajs)))
+	for i := range payloads {
+		payloads[i] = src.Trajs[i]
+	}
+	emptyStats := &core.QueryStats{}
+	var volatileNs int64
+	var out []perfBench
+	for _, d := range []struct {
+		name string
+		sync string // "" = no WAL
+	}{
+		{"DurableAppend/volatile", ""},
+		{"DurableAppend/sync=always", "always"},
+		{"DurableAppend/sync=interval", "interval"},
+		{"DurableAppend/sync=never", "never"},
+	} {
+		fmt.Fprintf(os.Stderr, "[benchall] %s...\n", d.name)
+		clone := traj.NewDataset(src.Rep)
+		for _, t := range src.Trajs {
+			clone.Add(t)
+		}
+		var safe *server.SafeEngine
+		cleanup := func() error { return nil }
+		if d.sync == "" {
+			safe = server.NewSafeEngine(core.NewEngineShards(clone, costs, 1))
+		} else {
+			pol, err := wal.ParseSyncPolicy(d.sync)
+			if err != nil {
+				return nil, err
+			}
+			dir, err := os.MkdirTemp("", "subtraj-walbench-")
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := server.OpenDurable(dir, clone, costs, server.DurableOptions{
+				Sync:         pol,
+				SyncInterval: 10 * time.Millisecond,
+			})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			safe = s
+			cleanup = func() error {
+				err := safe.Durable().Close()
+				os.RemoveAll(dir)
+				return err
+			}
+		}
+		runOne := func(i int) (*core.QueryStats, error) {
+			if _, err := safe.Append(payloads[i%len(payloads)]); err != nil {
+				return nil, err
+			}
+			return emptyStats, nil
+		}
+		bench, err := measureFixed(d.name, quick, ops, runOne)
+		if cerr := cleanup(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if bench.NsPerOp > 0 {
+			bench.AppendsPerSec = 1e9 / float64(bench.NsPerOp)
+		}
+		if d.sync == "" {
+			volatileNs = bench.NsPerOp
+		} else if volatileNs > 0 && bench.NsPerOp > 0 {
+			bench.OverheadVsVolatile = float64(bench.NsPerOp) / float64(volatileNs)
+		}
+		out = append(out, bench)
+	}
+	return out, nil
+}
+
+// cancelledTopKBench runs top-k queries under a 50 ms context deadline
+// and records the worst observed return latency. The engine's
+// cancellation points (between candidate groups, between τ-growth
+// rounds) bound that latency; exceeding twice the deadline fails the
+// snapshot — a regression in cancellation responsiveness, not a perf
+// number to track quietly.
+func cancelledTopKBench(eng *core.Engine, queries [][]traj.Symbol, k int, quick bool) (perfBench, error) {
+	const deadline = 50 * time.Millisecond
+	const maxReturn = 2 * deadline
+	iters := 5
+	if quick {
+		iters = 1
+	}
+	fmt.Fprintf(os.Stderr, "[benchall] TopK/k=%d/deadline=%s...\n", k, deadline)
+	bench := perfBench{
+		Name:       fmt.Sprintf("TopK/k=%d/deadline=%s", k, deadline),
+		DeadlineNs: deadline.Nanoseconds(),
+	}
+	var worst time.Duration
+	for i := 0; i < iters; i++ {
+		q := queries[i%len(queries)]
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		_, _, err := eng.SearchTopKStats(q, k, core.TopKOptions{Parallelism: 1, Ctx: ctx})
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return bench, fmt.Errorf("cancelled top-k: unexpected error: %w", err)
+			}
+			bench.DeadlineExceeded = true
+		}
+		if elapsed > worst {
+			worst = elapsed
+		}
+	}
+	bench.NsPerOp = worst.Nanoseconds()
+	if worst > maxReturn {
+		return bench, fmt.Errorf("cancelled top-k returned in %s; budget is %s for a %s deadline", worst, maxReturn, deadline)
+	}
 	return bench, nil
 }
 

@@ -8,6 +8,9 @@
 //	wedserve [-addr :8080] [-dataset beijing] [-scale 0.1] [-model EDR]
 //	         [-load workload.gob] [-cache 1024] [-concurrency 0]
 //	         [-shards 0] [-index pointer|compact] [-index-file idx.sbtj]
+//	         [-wal-dir state/] [-wal-sync always|interval|never]
+//	         [-wal-sync-interval 100ms] [-checkpoint-bytes 67108864]
+//	         [-request-timeout 0] [-queue-wait 1s]
 //	         [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
 //	         [-slow-query 250ms] [-trace-buffer 64] [-no-metrics]
 //	         [-debug-addr localhost:6060]
@@ -20,6 +23,7 @@
 //	POST /v1/exact     {"q":[...]}
 //	POST /v1/count     {"q":[...]}
 //	POST /v1/append    {"path":[...], "times":[...]}
+//	POST /v1/checkpoint            (durable mode: snapshot + WAL rotation)
 //	POST /v1/match     {"trace":[[x,y],...]}
 //	POST /v1/ingest    {"traces":[[[x,y],...],...]}
 //	POST /v1/batch     {"queries":[{"kind":"search", ...}, ...]}
@@ -37,6 +41,14 @@
 // -trace-buffer the /v1/debug/traces retention, -no-metrics disables the
 // /metrics registry, and -debug-addr starts a second listener serving
 // net/http/pprof (kept off the public address on purpose).
+//
+// Durability: -wal-dir enables crash-safe ingest. Every /v1/append is
+// written to a CRC-framed write-ahead log before it is applied, fsynced
+// per -wal-sync, and recovered on restart (snapshot replay + WAL replay
+// with torn-tail truncation). -checkpoint-bytes bounds the log by
+// triggering background checkpoints; POST /v1/checkpoint forces one.
+// The base workload (-dataset/-load/-scale/-model) must match across
+// restarts: the durable directory persists only appended trajectories.
 package main
 
 import (
@@ -55,6 +67,7 @@ import (
 
 	"subtraj"
 	"subtraj/internal/server"
+	"subtraj/internal/wal"
 )
 
 func main() {
@@ -71,6 +84,12 @@ func main() {
 		shards      = flag.Int("shards", 0, "index trajectory shards = per-query parallelism ceiling (0 = one per CPU)")
 		indexKind   = flag.String("index", "pointer", "index backend: pointer (sharded in-RAM) | compact (frozen bit-packed arena, mmap-able)")
 		indexFile   = flag.String("index-file", "", "compact arena path: open zero-copy via mmap if it exists, else build, save, and re-open (requires -index compact)")
+		walDir      = flag.String("wal-dir", "", "durable-state directory: log appends to a WAL, checkpoint, and recover on restart (incompatible with -index-file)")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per append) | interval | never")
+		walInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush period for -wal-sync interval")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint automatically when the WAL passes this size (0 = only on POST /v1/checkpoint)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline; exceeded queries return 504 (0 disables)")
+		queueWait   = flag.Duration("queue-wait", time.Second, "max wait for a worker slot before shedding the request with 503 (0 = wait for the request deadline)")
 		maxPar      = flag.Int("max-parallelism", 0, "cap shard workers per query (0 = min(shards, GOMAXPROCS); 1 = sequential)")
 		maxBatch    = flag.Int("max-batch", 64, "max subqueries per /v1/batch request")
 		gpsSigma    = flag.Float64("gps-sigma", 20, "GPS noise stddev in metres for map matching (0 disables the GPS endpoints)")
@@ -118,13 +137,52 @@ func main() {
 		log.Fatal(err)
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	start = time.Now()
-	eng, err := buildEngine(data, costs, *indexKind, *indexFile, *shards)
-	if err != nil {
-		log.Fatal(err)
+	var inner *server.SafeEngine
+	if *walDir != "" {
+		if *indexFile != "" {
+			log.Fatal("-index-file cannot be combined with -wal-dir: durable mode manages index.compact inside the state directory")
+		}
+		if *indexKind != "pointer" && *indexKind != "compact" {
+			log.Fatalf("unknown index backend %q (pointer|compact)", *indexKind)
+		}
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rec *server.RecoveryInfo
+		inner, rec, err = server.OpenDurable(*walDir, data, costs, server.DurableOptions{
+			Sync:            pol,
+			SyncInterval:    *walInterval,
+			CheckpointBytes: *ckptBytes,
+			Compact:         *indexKind == "compact",
+			Shards:          *shards,
+			Logger:          logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("  durable state %s recovered in %s: %d snapshot + %d replayed records (%d skipped, gen %d, wal %s)",
+			*walDir, time.Since(start).Round(time.Millisecond),
+			rec.SnapshotRecords, rec.ReplayedRecords, rec.SkippedRecords,
+			rec.CheckpointGen, byteSize(rec.WALBytes))
+		if rec.TailTruncated {
+			log.Printf("  WAL tail truncated at a torn frame: %s", rec.TruncateReason)
+		}
+		if rec.IndexMapped {
+			log.Printf("  compact index mapped from checkpoint")
+		}
+	} else {
+		eng, err := buildEngine(data, costs, *indexKind, *indexFile, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("  engine (%s, %s index, %d shards, %s) built in %s",
+			*model, eng.IndexKind(), eng.NumShards(), byteSize(eng.IndexBytes()), time.Since(start).Round(time.Millisecond))
+		inner = subtraj.NewSafeEngine(eng).Inner()
 	}
-	log.Printf("  engine (%s, %s index, %d shards, %s) built in %s",
-		*model, eng.IndexKind(), eng.NumShards(), byteSize(eng.IndexBytes()), time.Since(start).Round(time.Millisecond))
 
 	// The alphabet bound keeps out-of-range symbols in request JSON from
 	// reaching the cost models, which index per-symbol tables directly.
@@ -133,17 +191,18 @@ func main() {
 		maxSymbol = int32(w.Graph.NumEdges())
 	}
 
-	safe := subtraj.NewSafeEngine(eng)
 	scfg := server.Config{
 		CacheSize:      *cacheSize,
 		MaxConcurrent:  *concurrency,
 		MaxBatch:       *maxBatch,
 		MaxSymbol:      maxSymbol,
 		MaxParallelism: *maxPar,
+		RequestTimeout: *reqTimeout,
+		QueueWait:      *queueWait,
 		SlowQuery:      *slowQuery,
 		TraceBuffer:    *traceBuffer,
 		DisableMetrics: *noMetrics,
-		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Logger:         logger,
 	}
 	if *gpsSigma > 0 {
 		start = time.Now()
@@ -155,7 +214,7 @@ func main() {
 		scfg.Matcher = matcher.Internal()
 		log.Printf("  GPS matcher (σ=%gm, β=%gm) built in %s", *gpsSigma, *gpsBeta, time.Since(start).Round(time.Millisecond))
 	}
-	srv := server.New(safe.Inner(), scfg)
+	srv := server.New(inner, scfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -202,6 +261,13 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	if d := inner.Durable(); d != nil {
+		// All handlers have drained; flush and close the WAL so the final
+		// fsync covers every acknowledged append.
+		if err := d.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	snap := srv.Snapshot()
 	log.Printf("served %d searches, %d batches, %d appends; cache hits %d/%d; exiting",

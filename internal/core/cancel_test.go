@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"subtraj/internal/core"
+	"subtraj/internal/testutil"
+)
+
+// TestSearchCanceledContext: a context that is already dead must stop
+// every search path — sequential, sharded, top-k incremental and legacy —
+// with an error wrapping the context's cause, and a nil/live context must
+// leave results untouched.
+func TestSearchCanceledContext(t *testing.T) {
+	env := testutil.NewEnv(31, 40, 24)
+	m := env.Models()[0]
+	eng := core.NewEngineShards(m.DS, m.Costs, 4)
+	q := env.Query(m, 8)
+	tau := oracleTaus(m.Costs, m.DS, q)[1]
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"sequential", func() error {
+			_, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 1, Ctx: canceled})
+			return err
+		}},
+		{"sharded", func() error {
+			_, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Parallelism: 4, Ctx: canceled})
+			return err
+		}},
+		{"topk", func() error {
+			_, _, err := eng.SearchTopKStats(q, 5, core.TopKOptions{Ctx: canceled})
+			return err
+		}},
+		{"topk-sharded", func() error {
+			_, _, err := eng.SearchTopKStats(q, 5, core.TopKOptions{Ctx: canceled, Parallelism: 4})
+			return err
+		}},
+		{"topk-legacy", func() error {
+			_, _, err := eng.SearchTopKStats(q, 5, core.TopKOptions{Ctx: canceled, Legacy: true})
+			return err
+		}},
+	} {
+		if err := tc.run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", tc.name, err)
+		}
+	}
+}
+
+// TestSearchLiveContextUnchanged: passing a live context must not change
+// the answer relative to the nil-context path.
+func TestSearchLiveContextUnchanged(t *testing.T) {
+	env := testutil.NewEnv(32, 40, 24)
+	for _, m := range env.Models() {
+		eng := core.NewEngineShards(m.DS, m.Costs, 4)
+		q := env.Query(m, 8)
+		tau := oracleTaus(m.Costs, m.DS, q)[1]
+		want, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got, _, err := eng.SearchQuery(core.Query{Q: q, Tau: tau, Ctx: context.Background()})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		assertIdenticalResults(t, m.Name+"/ctx", got, want)
+
+		wantK, _, err := eng.SearchTopKStats(q, 5, core.TopKOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		gotK, _, err := eng.SearchTopKStats(q, 5, core.TopKOptions{Ctx: context.Background()})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		assertIdenticalResults(t, m.Name+"/ctx-topk", gotK, wantK)
+	}
+}
+
+// TestDeadlineExceededSurfaces: an expired deadline is distinguishable
+// from a plain cancel, so servers can map it to 504.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	env := testutil.NewEnv(33, 40, 24)
+	m := env.Models()[0]
+	eng := core.NewEngineShards(m.DS, m.Costs, 4)
+	q := env.Query(m, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, _, err := eng.SearchQuery(core.Query{Q: q, Tau: oracleTaus(m.Costs, m.DS, q)[1], Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -90,6 +91,17 @@ func NewEngineWithBackend(ds *traj.Dataset, idx index.Backend, costs wed.FilterC
 
 // Dataset returns the indexed dataset.
 func (e *Engine) Dataset() *traj.Dataset { return e.ds }
+
+// ReplaceBackend swaps the index backend in place — the checkpoint path
+// re-freezes the dataset into a fresh compact arena and installs it here
+// so the write-ahead log can be truncated. The new backend must describe
+// exactly ds's trajectories, and the caller must serialize the swap with
+// every concurrent query (the server does so under its write lock). The
+// temporal postings are invalidated: the fresh backend has not built them.
+func (e *Engine) ReplaceBackend(idx index.Backend) {
+	e.idx = idx
+	e.temporalBuilt = false
+}
 
 // Backend returns the index backend.
 func (e *Engine) Backend() index.Backend { return e.idx }
@@ -212,6 +224,13 @@ const (
 type Query struct {
 	Q   []traj.Symbol
 	Tau float64
+	// Ctx, when non-nil, cancels the query cooperatively: the engine
+	// checks it between candidate groups in the verify loops (sequential
+	// and per shard worker) and between top-k τ-growth rounds, returning
+	// an error wrapping ctx.Err() — a slow query under a server deadline
+	// stops within one trajectory group's verification instead of
+	// running to completion. nil means run to completion.
+	Ctx context.Context
 	// Verify selects the verification mode/ablations; zero value = BT.
 	Verify verify.Options
 	// Parallelism caps the number of shard workers verifying this query:
@@ -235,6 +254,21 @@ type Query struct {
 
 // ErrEmptyQuery is returned for zero-length queries.
 var ErrEmptyQuery = errors.New("core: empty query")
+
+// ctxErr maps a context's cancellation into the engine's error space.
+// A nil context (the default for library callers) never cancels. The
+// returned error wraps ctx.Err(), so errors.Is(err,
+// context.DeadlineExceeded) / context.Canceled hold and servers can map
+// deadline expiry to 504.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: search canceled: %w", err)
+	}
+	return nil
+}
 
 // ErrTauTooLarge is wrapped by SearchQuery when τ > wed(ε, Q): beyond that
 // threshold the empty subtrajectory "matches" and the problem is ill-posed
@@ -277,13 +311,19 @@ func (e *Engine) SearchQuery(qr Query) ([]traj.Match, *QueryStats, error) {
 		e.ensureTemporalIndex()
 	}
 
+	if err := ctxErr(qr.Ctx); err != nil {
+		return nil, nil, err
+	}
 	workers := e.EffectiveParallelism(qr.Parallelism)
 	stats.Workers = workers
 	var res []traj.Match
 	if workers <= 1 {
-		res = e.runSequential(&qr, plan, stats)
+		res, err = e.runSequential(&qr, plan, stats)
 	} else {
-		res = e.runSharded(&qr, plan, workers, stats)
+		res, err = e.runSharded(&qr, plan, workers, stats)
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	if temporal {
 		res = e.applyTemporal(res, qr.Temporal.Mode, qr.Temporal.Lo, qr.Temporal.Hi)

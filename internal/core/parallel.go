@@ -69,7 +69,7 @@ func (e *Engine) shardCandidates(qr *Query, plan *filter.Plan, src index.Posting
 // grouped by trajectory like the sharded path: the verifier accumulates
 // matches per trajectory (one flush per ID) and reads each path once, and
 // the grouping is a stable sort that changes no result.
-func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) []traj.Match {
+func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) ([]traj.Match, error) {
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
@@ -84,7 +84,19 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	var err error
+	prevID := int32(-1)
 	for _, c := range cands {
+		// The cancellation point sits on trajectory-group boundaries:
+		// one group is the unit of verification work (a shared trie
+		// walk), so a deadline interrupts between groups, never inside
+		// one — bounded latency without torn per-trajectory state.
+		if c.ID != prevID {
+			prevID = c.ID
+			if err = ctxErr(qr.Ctx); err != nil {
+				break
+			}
+		}
 		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
 	}
 	res := ver.Results()
@@ -93,7 +105,10 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 	verify.Put(ver)
 	*buf = cands
 	candBufs.Put(buf)
-	return res
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // workerPanic wraps a recovered panic value so atomic.Value always
@@ -144,6 +159,9 @@ type shardOut struct {
 	verify  time.Duration
 	cands   int
 	vstats  verify.Stats
+	// err is the shard's cancellation (or other) failure; the merge
+	// surfaces the first one and discards the round's matches.
+	err error
 }
 
 // runSharded fans the shards out over `workers` goroutines. Each task
@@ -152,7 +170,7 @@ type shardOut struct {
 // per-shard matches; the merge concatenates and re-sorts, which is
 // deterministic because shards partition trajectory IDs (per-shard result
 // sets are disjoint) and every list arrives in (ID, S, T) order.
-func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *QueryStats) []traj.Match {
+func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *QueryStats) ([]traj.Match, error) {
 	numShards := e.idx.NumShards()
 	outs := make([]shardOut, numShards)
 	fanOutShards(numShards, workers, func(s int) {
@@ -162,6 +180,9 @@ func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *Qu
 	var total int
 	for s := range outs {
 		o := &outs[s]
+		if o.err != nil {
+			return nil, o.err
+		}
 		total += len(o.matches)
 		stats.LookupTime += o.lookup
 		stats.VerifyTime += o.verify
@@ -175,7 +196,7 @@ func (e *Engine) runSharded(qr *Query, plan *filter.Plan, workers int, stats *Qu
 	// Shard s owns IDs ≡ s (mod P), so concatenation interleaves IDs;
 	// one sort restores the canonical (ID, S, T) order.
 	traj.SortMatches(res)
-	return res
+	return res, nil
 }
 
 // runShard executes the filter and verify phases over one shard.
@@ -192,7 +213,14 @@ func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	prevID := int32(-1)
 	for _, c := range cands {
+		if c.ID != prevID {
+			prevID = c.ID
+			if out.err = ctxErr(qr.Ctx); out.err != nil {
+				break
+			}
+		}
 		ver.Verify(verify.Candidate{ID: c.ID, Pos: c.Pos, IQ: c.IQ})
 	}
 	out.matches = ver.Results()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -54,6 +55,10 @@ type TopKOptions struct {
 	// maximally simple; kept as the correctness baseline the incremental
 	// driver is cross-checked against.
 	Legacy bool
+	// Ctx cancels the driver cooperatively between τ-growth rounds and
+	// between trajectory groups inside a round's verify loops (see
+	// Query.Ctx). nil means run to completion.
+	Ctx context.Context
 }
 
 // SearchTopK returns, for the k data trajectories most similar to the
@@ -94,7 +99,7 @@ func (e *Engine) SearchTopKStats(q []traj.Symbol, k int, opts TopKOptions) ([]tr
 		return nil, &QueryStats{Shards: e.idx.NumShards()}, nil
 	}
 	if opts.Legacy {
-		return e.searchTopKLegacy(q, k, opts.Parallelism)
+		return e.searchTopKLegacy(q, k, opts)
 	}
 	return e.searchTopKIncremental(q, k, opts)
 }
@@ -241,6 +246,13 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 	}()
 
 	for {
+		// Round boundaries are the coarse cancellation points: a
+		// deadline that fires mid-search skips every remaining τ-growth
+		// round (the finer-grained group checks inside the round loops
+		// bound the residual latency).
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, nil, err
+		}
 		roundStart := time.Now()
 		start := roundStart
 		plan, err := filter.BuildPlan(e.costs, e.idx, q, tau)
@@ -257,9 +269,12 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 			} else {
 				ver.Reset(e.costs, e.ds, q, tau, verify.Options{})
 			}
-			e.topKRoundSequential(plan, tau, st, ver, stats)
+			err = e.topKRoundSequential(opts.Ctx, plan, tau, st, ver, stats)
 		} else {
-			e.topKRoundSharded(q, plan, tau, workers, st, stats)
+			err = e.topKRoundSharded(opts.Ctx, q, plan, tau, workers, st, stats)
+		}
+		if err != nil {
+			return nil, nil, err
 		}
 		stats.RoundTime = append(stats.RoundTime, time.Since(roundStart))
 
@@ -288,7 +303,7 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 
 // topKRoundSequential runs one round on the caller's goroutine with the
 // cross-round verifier.
-func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkState, ver *verify.Verifier, stats *QueryStats) {
+func (e *Engine) topKRoundSequential(ctx context.Context, plan *filter.Plan, tau float64, st *topkState, ver *verify.Verifier, stats *QueryStats) error {
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
@@ -302,13 +317,14 @@ func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkSta
 	stats.RoundCandidates = append(stats.RoundCandidates, len(cands))
 
 	start = time.Now()
-	verified, skipped := verifyTopKGroups(ver, cands, st, tau)
+	verified, skipped, err := verifyTopKGroups(ctx, ver, cands, st, tau)
 	stats.VerifyTime += time.Since(start)
 	stats.Candidates += verified
 	stats.CandidatesReused += skipped
 	stats.Verify.Add(ver.SnapshotStats())
 	*buf = cands
 	candBufs.Put(buf)
+	return err
 }
 
 // topKRoundSharded fans one round's shards over `workers` goroutines
@@ -316,16 +332,19 @@ func (e *Engine) topKRoundSequential(plan *filter.Plan, tau float64, st *topkSta
 // st per trajectory group; the final table is order-independent (see
 // topkState), so Parallelism 1 vs N stay bit-equal even though the
 // per-round work counters may differ with scheduling.
-func (e *Engine) topKRoundSharded(q []traj.Symbol, plan *filter.Plan, tau float64, workers int, st *topkState, stats *QueryStats) {
+func (e *Engine) topKRoundSharded(ctx context.Context, q []traj.Symbol, plan *filter.Plan, tau float64, workers int, st *topkState, stats *QueryStats) error {
 	numShards := e.idx.NumShards()
 	outs := make([]topkShardOut, numShards)
 	fanOutShards(numShards, workers, func(s int) {
-		outs[s] = e.topKRunShard(q, plan, tau, s, st)
+		outs[s] = e.topKRunShard(ctx, q, plan, tau, s, st)
 	})
 
 	var enumerated int
 	for s := range outs {
 		o := &outs[s]
+		if o.err != nil {
+			return o.err
+		}
 		enumerated += o.enumerated
 		stats.LookupTime += o.lookup
 		stats.VerifyTime += o.verify
@@ -334,6 +353,7 @@ func (e *Engine) topKRoundSharded(q []traj.Symbol, plan *filter.Plan, tau float6
 		stats.Verify.Add(o.vstats)
 	}
 	stats.RoundCandidates = append(stats.RoundCandidates, enumerated)
+	return nil
 }
 
 // topkShardOut is one shard task's contribution to a round.
@@ -342,9 +362,10 @@ type topkShardOut struct {
 	enumerated        int
 	verified, skipped int
 	vstats            verify.Stats
+	err               error
 }
 
-func (e *Engine) topKRunShard(q []traj.Symbol, plan *filter.Plan, tau float64, s int, st *topkState) topkShardOut {
+func (e *Engine) topKRunShard(ctx context.Context, q []traj.Symbol, plan *filter.Plan, tau float64, s int, st *topkState) topkShardOut {
 	var out topkShardOut
 	start := time.Now()
 	buf := getCandBuf()
@@ -357,7 +378,7 @@ func (e *Engine) topKRunShard(q []traj.Symbol, plan *filter.Plan, tau float64, s
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, q, tau, verify.Options{})
-	out.verified, out.skipped = verifyTopKGroups(ver, cands, st, tau)
+	out.verified, out.skipped, out.err = verifyTopKGroups(ctx, ver, cands, st, tau)
 	out.vstats = ver.SnapshotStats()
 	verify.Put(ver)
 	out.verify = time.Since(start)
@@ -370,8 +391,11 @@ func (e *Engine) topKRunShard(q []traj.Symbol, plan *filter.Plan, tau float64, s
 // trajectories are skipped wholesale (their exact best is carried from an
 // earlier round), every other group is verified under the current
 // tightened bound and its best match offered to the table.
-func verifyTopKGroups(ver *verify.Verifier, cands []filter.Candidate, st *topkState, tauRound float64) (verified, skipped int) {
+func verifyTopKGroups(ctx context.Context, ver *verify.Verifier, cands []filter.Candidate, st *topkState, tauRound float64) (verified, skipped int, err error) {
 	for i := 0; i < len(cands); {
+		if err = ctxErr(ctx); err != nil {
+			return verified, skipped, err
+		}
 		id := cands[i].ID
 		j := i + 1
 		for j < len(cands) && cands[j].ID == id {
@@ -392,7 +416,7 @@ func verifyTopKGroups(ver *verify.Verifier, cands []filter.Candidate, st *topkSt
 		}
 		i = j
 	}
-	return verified, skipped
+	return verified, skipped, nil
 }
 
 // --- legacy restart driver ----------------------------------------------
@@ -401,13 +425,13 @@ func verifyTopKGroups(ver *verify.Verifier, cands []filter.Candidate, st *topkSt
 // SearchQuery over the full pipeline. Per-round stats are merged so the
 // baseline is observable too, but there is no carried state and no
 // tightening — CandidatesReused is always 0.
-func (e *Engine) searchTopKLegacy(q []traj.Symbol, k, parallelism int) ([]traj.Match, *QueryStats, error) {
+func (e *Engine) searchTopKLegacy(q []traj.Symbol, k int, opts TopKOptions) ([]traj.Match, *QueryStats, error) {
 	ceiling := e.topKCeiling(q)
 	tau := ceiling / topKStartDiv
 	merged := &QueryStats{Shards: e.idx.NumShards()}
 	for {
 		roundStart := time.Now()
-		res, st, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: parallelism})
+		res, st, err := e.SearchQuery(Query{Q: q, Tau: tau, Parallelism: opts.Parallelism, Ctx: opts.Ctx})
 		if err != nil {
 			return nil, nil, err
 		}

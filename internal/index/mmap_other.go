@@ -2,15 +2,8 @@
 
 package index
 
-import "os"
-
-// OpenMapped on platforms without syscall.Mmap falls back to reading the
-// whole arena into memory. The API contract is identical (including
-// Close being required); only the zero-copy property is lost.
+// OpenMapped on platforms without syscall.Mmap always uses the read-file
+// fallback; see openReadFile.
 func OpenMapped(path string) (*Compact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return LoadCompact(data)
+	return openReadFile(path)
 }

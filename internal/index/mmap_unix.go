@@ -15,7 +15,14 @@ import (
 // processes, evictable under pressure), not Go heap. The arena is fully
 // validated before use — see LoadCompact — so a corrupt or truncated file
 // fails here, never inside a query. Close unmaps.
+//
+// SUBTRAJ_MMAP=off forces the portable read-file path (see openReadFile)
+// — the toggle CI uses to exercise the non-unix fallback, and an escape
+// hatch for filesystems where mapping misbehaves.
 func OpenMapped(path string) (*Compact, error) {
+	if mmapDisabled() {
+		return openReadFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

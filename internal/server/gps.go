@@ -304,7 +304,13 @@ func (s *Server) ingestOne(ctx context.Context, trace []tracePoint) ingestItemRe
 		}
 		trajs = append(trajs, traj.Trajectory{Path: append([]traj.Symbol(nil), syms...)})
 	}
-	item.IDs = s.eng.AppendBatch(trajs)
+	ids, err := s.eng.AppendBatch(trajs)
+	if err != nil {
+		// WAL failure: the whole batch was rejected atomically.
+		item.Error = err.Error()
+		return item
+	}
+	item.IDs = ids
 	s.stats.segmentsAppended.Add(int64(len(item.IDs)))
 	return item
 }

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -22,7 +24,7 @@ import (
 // its own request-duration histogram series.
 var instrumentedEndpoints = []string{
 	"search", "topk", "temporal", "exact", "count",
-	"append", "match", "ingest", "batch",
+	"append", "match", "ingest", "batch", "checkpoint",
 	"stats", "debug_traces", "healthz",
 }
 
@@ -43,6 +45,7 @@ type serverMetrics struct {
 
 	topkRounds      *obs.Histogram
 	matchConfidence *obs.Histogram
+	walFsync        *obs.Histogram
 }
 
 // newServerMetrics builds the registry over s. It must run after the
@@ -180,6 +183,48 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.matchConfidence = r.Histogram("subtraj_gps_match_confidence",
 		"Per-trace map-matching confidence.", obs.RatioBuckets, nil)
 
+	// Robustness: overload shedding and recovered panics.
+	r.CounterFunc("subtraj_requests_shed_total",
+		"Requests shed with a fast 503 because the worker pool stayed saturated past the queue-wait bound.",
+		nil, cf(&s.pool.shed))
+	r.CounterFunc("subtraj_panics_total",
+		"Handler panics recovered into 500 responses.", nil, cf(&s.stats.panics))
+
+	// Durability: the write-ahead log and checkpoint state. The bridges
+	// read through s.eng.Durable() at scrape time and report zero on a
+	// volatile engine, so dashboards need no conditional wiring.
+	durGauge := func(f func(d *Durability) float64) func() float64 {
+		return func() float64 {
+			if d := s.eng.Durable(); d != nil {
+				return f(d)
+			}
+			return 0
+		}
+	}
+	r.GaugeFunc("subtraj_durable", "1 when appends are write-ahead logged.",
+		nil, durGauge(func(*Durability) float64 { return 1 }))
+	r.GaugeFunc("subtraj_wal_bytes", "Write-ahead log size on disk.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.WALStats().Bytes) }))
+	r.GaugeFunc("subtraj_wal_records", "Records in the write-ahead log (since the last checkpoint).",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.WALStats().Records) }))
+	r.CounterFunc("subtraj_wal_fsyncs_total", "WAL fsync calls.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.WALStats().Syncs) }))
+	r.CounterFunc("subtraj_checkpoints_total", "Completed checkpoints.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.Checkpoints()) }))
+	r.CounterFunc("subtraj_checkpoint_errors_total", "Failed checkpoint attempts.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.CheckpointErrors()) }))
+	r.GaugeFunc("subtraj_wal_last_checkpoint_generation",
+		"Durable generation barrier of the newest snapshot.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.LastCheckpointGen()) }))
+	r.GaugeFunc("subtraj_recovery_replayed_records",
+		"WAL records startup recovery applied on top of the snapshot.",
+		nil, durGauge(func(d *Durability) float64 { return float64(d.ReplayedRecords()) }))
+	m.walFsync = r.Histogram("subtraj_wal_fsync_seconds", "WAL fsync latency.",
+		obs.LatencyBuckets, nil)
+	if d := s.eng.Durable(); d != nil {
+		d.SetFsyncObserver(m.walFsync)
+	}
+
 	r.GaugeFunc("subtraj_uptime_seconds", "Seconds since the server was built.",
 		nil, func() float64 { return time.Since(s.stats.start).Seconds() })
 
@@ -200,19 +245,48 @@ func ratio(num, den int64) float64 {
 
 // --- request middleware ---------------------------------------------------
 
-// instrument wraps a handler with the per-request observability spine:
-// request ID (echoed in X-Request-ID and carried by the trace), a trace
-// in the context for the layers below to hang spans on, the endpoint's
-// latency histogram (observed for every request — cache hits included,
-// which is what makes the histogram the honest end-to-end distribution),
-// and the slow-query sink (structured log line plus the debug ring).
+// instrument wraps a handler with the per-request observability and
+// robustness spine: request ID (echoed in X-Request-ID and carried by
+// the trace), a trace in the context for the layers below to hang spans
+// on, the configured request deadline (the engine's cancellation points
+// observe it and the query answers 504), a panic backstop that converts
+// any handler panic — including one re-raised from a shard worker — into
+// a 500 JSON error instead of a dead process, the endpoint's latency
+// histogram (observed for every request — cache hits included, which is
+// what makes the histogram the honest end-to-end distribution), and the
+// slow-query sink (structured log line plus the debug ring).
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.metrics.reqLatency[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := obs.NewRequestID()
 		tr := obs.NewTrace(id, endpoint)
 		w.Header().Set("X-Request-ID", id)
-		h(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		ctx := obs.WithTrace(r.Context(), tr)
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.stats.panics.Add(1)
+					s.stats.errors.Add(1)
+					s.cfg.Logger.Error("handler panic",
+						"request_id", id,
+						"endpoint", endpoint,
+						"panic", fmt.Sprint(p),
+						"stack", string(debug.Stack()),
+					)
+					// Best-effort: if the handler already wrote a status
+					// line the superfluous-WriteHeader log is the only
+					// casualty; the process survives either way.
+					writeJSON(w, http.StatusInternalServerError,
+						map[string]string{"error": "internal error", "request_id": id})
+				}
+			}()
+			h(w, r.WithContext(ctx))
+		}()
 		dur := tr.Finish()
 		lat.Observe(dur.Seconds())
 		if s.cfg.SlowQuery > 0 && dur >= s.cfg.SlowQuery {
@@ -313,10 +387,17 @@ type healthResponse struct {
 	Shards        int     `json:"shards"`
 	TemporalReady bool    `json:"temporal_ready"`
 	GPSEnabled    bool    `json:"gps_enabled"`
+	// Durable reports write-ahead logging; the remaining fields let a
+	// probe confirm a restarted instance actually recovered (how many WAL
+	// records were replayed, and to what durable generation).
+	Durable           bool   `json:"durable"`
+	DurableGeneration uint64 `json:"durable_generation,omitempty"`
+	WALRecords        int64  `json:"wal_records,omitempty"`
+	RecoveryReplayed  int64  `json:"recovery_replayed_records,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.stats.start).Seconds(),
 		Generation:    s.eng.Generation(),
@@ -324,5 +405,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:        s.eng.NumShards(),
 		TemporalReady: s.eng.TemporalReady(),
 		GPSEnabled:    s.matcher != nil,
-	})
+	}
+	if d := s.eng.Durable(); d != nil {
+		ws := d.WALStats()
+		resp.Durable = true
+		resp.DurableGeneration = ws.Gen
+		resp.WALRecords = ws.Records
+		resp.RecoveryReplayed = d.ReplayedRecords()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

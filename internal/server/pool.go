@@ -4,46 +4,70 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // ErrPoolSaturated is returned when a request gives up waiting for a pool
-// slot (its context expired while queued).
+// slot: its context expired while queued, or the pool stayed full past
+// the queue-wait bound (overload shedding).
 var ErrPoolSaturated = errors.New("server: worker pool saturated")
 
 // workerPool bounds the number of in-flight engine queries. Verification
 // is the memory-heavy phase (DP columns, trie nodes per query), so
 // admitting an unbounded number of concurrent searches can exhaust memory
-// long before the CPU saturates; the pool converts overload into queueing
-// (and, past the caller's deadline, into ErrPoolSaturated) instead.
+// long before the CPU saturates; the pool converts overload into bounded
+// queueing and, past queueWait, into a fast ErrPoolSaturated — a shed
+// request costs the client one cheap 503 + Retry-After instead of a
+// connection pinned behind an unbounded queue.
 type workerPool struct {
 	sem chan struct{}
+	// queueWait bounds how long one acquisition may block (≤ 0 = until
+	// the caller's context is done, the pre-shedding behavior).
+	queueWait time.Duration
 
 	inFlight atomic.Int64
 	waited   atomic.Int64 // acquisitions that had to block
-	rejected atomic.Int64
+	rejected atomic.Int64 // abandoned acquisitions (shed + ctx-expired)
+	shed     atomic.Int64 // rejected specifically by the queue-wait bound
 }
 
 // newWorkerPool creates a pool admitting at most size concurrent tasks.
-func newWorkerPool(size int) *workerPool {
+func newWorkerPool(size int, queueWait time.Duration) *workerPool {
 	if size < 1 {
 		size = 1
 	}
-	return &workerPool{sem: make(chan struct{}, size)}
+	return &workerPool{sem: make(chan struct{}, size), queueWait: queueWait}
 }
 
 func (p *workerPool) capacity() int { return cap(p.sem) }
 
-// acquire blocks until a slot frees up or ctx is done.
+// acquire blocks until a slot frees up, ctx is done, or the queue-wait
+// bound sheds the request.
 func (p *workerPool) acquire(ctx context.Context) error {
 	select {
 	case p.sem <- struct{}{}:
 	default:
 		p.waited.Add(1)
-		select {
-		case p.sem <- struct{}{}:
-		case <-ctx.Done():
-			p.rejected.Add(1)
-			return ErrPoolSaturated
+		if p.queueWait > 0 {
+			t := time.NewTimer(p.queueWait)
+			defer t.Stop()
+			select {
+			case p.sem <- struct{}{}:
+			case <-t.C:
+				p.shed.Add(1)
+				p.rejected.Add(1)
+				return ErrPoolSaturated
+			case <-ctx.Done():
+				p.rejected.Add(1)
+				return ErrPoolSaturated
+			}
+		} else {
+			select {
+			case p.sem <- struct{}{}:
+			case <-ctx.Done():
+				p.rejected.Add(1)
+				return ErrPoolSaturated
+			}
 		}
 	}
 	p.inFlight.Add(1)

@@ -8,6 +8,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,12 @@ type SafeEngine struct {
 	mu  sync.RWMutex
 	eng *core.Engine
 	gen atomic.Uint64
+
+	// dur, when non-nil, makes every append write-ahead durable: the
+	// batch is framed into the WAL (and fsynced per policy) before it is
+	// applied to the in-memory engine, so an acknowledged append survives
+	// a crash. Nil = volatile engine, appends behave exactly as before.
+	dur *Durability
 }
 
 // NewSafeEngine wraps eng. The wrapper must be the only user of eng from
@@ -49,13 +56,15 @@ func (s *SafeEngine) Unsafe() *core.Engine { return s.eng }
 func (s *SafeEngine) Generation() uint64 { return s.gen.Load() }
 
 // Append indexes one more trajectory under the write lock and returns its
-// ID.
-func (s *SafeEngine) Append(t traj.Trajectory) int32 {
-	s.mu.Lock()
-	id := s.eng.Append(t)
-	s.gen.Add(1)
-	s.mu.Unlock()
-	return id
+// ID. On a durable engine the record hits the write-ahead log first; a
+// WAL failure returns an error and the engine state is unchanged (the
+// append is neither applied nor acknowledged).
+func (s *SafeEngine) Append(t traj.Trajectory) (int32, error) {
+	ids, err := s.AppendBatch([]traj.Trajectory{t})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
 }
 
 // AppendBatch indexes several trajectories under one write-lock
@@ -63,18 +72,30 @@ func (s *SafeEngine) Append(t traj.Trajectory) int32 {
 // len(ts), so each appended trajectory invalidates caches exactly as if
 // appended alone — but concurrent searches are blocked only once. The
 // GPS ingestion path appends each matched trace's segments through this.
-func (s *SafeEngine) AppendBatch(ts []traj.Trajectory) []int32 {
+//
+// On a durable engine the whole batch is logged as one atomic WAL frame
+// before any of it is applied: after a crash either every trajectory of
+// the batch is recovered or none is. A WAL failure fails the batch
+// without applying anything.
+func (s *SafeEngine) AppendBatch(ts []traj.Trajectory) ([]int32, error) {
 	if len(ts) == 0 {
-		return nil
+		return nil, nil
 	}
 	ids := make([]int32, len(ts))
 	s.mu.Lock()
+	if s.dur != nil {
+		if err := s.dur.log.Append(ts); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("server: durable append: %w", err)
+		}
+	}
 	for i := range ts {
 		ids[i] = s.eng.Append(ts[i])
 	}
 	s.gen.Add(uint64(len(ts)))
 	s.mu.Unlock()
-	return ids
+	s.maybeCheckpoint()
+	return ids, nil
 }
 
 // NumTrajectories returns the current dataset size.

@@ -169,7 +169,10 @@ func TestSafeEngineAppendVisible(t *testing.T) {
 	safe, w := newTestEngine(t)
 	path := append([]traj.Symbol(nil), w.Data.Path(0)...)
 	gen := safe.Generation()
-	id := safe.Append(traj.Trajectory{Path: path})
+	id, err := safe.Append(traj.Trajectory{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if safe.Generation() != gen+1 {
 		t.Fatalf("Generation did not advance")
 	}

@@ -61,6 +61,17 @@ type Config struct {
 	// (0 = default 16384). Traces oversample paths (several samples per
 	// edge), so the cap is independent of MaxQueryLen.
 	MaxTraceLen int
+	// RequestTimeout bounds one request end to end: the context handed to
+	// handlers (and, through the engine's cancellation points, to the
+	// verification loops) expires after it, and the request answers 504.
+	// 0 disables the server-side deadline — client disconnects still
+	// cancel.
+	RequestTimeout time.Duration
+	// QueueWait bounds how long a request may wait for a worker-pool slot
+	// before being shed with a fast 503 + Retry-After (0 = default 1s;
+	// negative = wait until the request context is done, the pre-shedding
+	// behavior).
+	QueueWait time.Duration
 	// SlowQuery is the slow-query threshold: requests at or above it are
 	// written to the structured slow-query log (with their span
 	// breakdown and request ID) and retained in the /v1/debug/traces
@@ -100,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTraceLen <= 0 {
 		c.MaxTraceLen = 16384
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
 	}
 	if c.SlowQuery == 0 {
 		c.SlowQuery = 250 * time.Millisecond
@@ -173,6 +187,11 @@ type counters struct {
 	// counts requests at or above the slow-query threshold.
 	cacheHitQueries atomic.Int64
 	slowQueries     atomic.Int64
+
+	// panics counts handler panics the instrument middleware recovered
+	// into 500 responses; checkpoint counts /v1/checkpoint requests.
+	panics     atomic.Int64
+	checkpoint atomic.Int64
 }
 
 // New builds a Server over eng.
@@ -181,7 +200,7 @@ func New(eng *SafeEngine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cache:   newResultCache(cfg.CacheSize),
-		pool:    newWorkerPool(cfg.MaxConcurrent),
+		pool:    newWorkerPool(cfg.MaxConcurrent, cfg.QueueWait),
 		matcher: cfg.Matcher,
 		cfg:     cfg,
 	}
@@ -200,6 +219,7 @@ func New(eng *SafeEngine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/match", s.instrument("match", s.handleMatch))
 	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/debug/traces", s.instrument("debug_traces", s.handleDebugTraces))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -276,9 +296,12 @@ type queryResponse struct {
 }
 
 // httpError carries the status a handler should answer with.
+// retryAfterSec, when positive, becomes a Retry-After header — shed
+// requests tell well-behaved clients when to come back.
 type httpError struct {
-	code int
-	msg  string
+	code          int
+	msg           string
+	retryAfterSec int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -340,8 +363,32 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	id := s.eng.Append(traj.Trajectory{Path: req.Path, Times: req.Times})
+	id, err := s.eng.Append(traj.Trajectory{Path: req.Path, Times: req.Times})
+	if err != nil {
+		// The write-ahead log refused the record: nothing was applied and
+		// the client must not treat the append as durable.
+		s.fail(w, &httpError{code: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, appendResponse{ID: id, Generation: s.eng.Generation()})
+}
+
+// handleCheckpoint forces a checkpoint: snapshot the appended tail,
+// persist the index (compact backends), truncate the WAL. 501 on a
+// volatile engine, 409 when one is already running.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s.stats.checkpoint.Add(1)
+	res, err := s.eng.Checkpoint()
+	switch {
+	case errors.Is(err, ErrNotDurable):
+		s.fail(w, &httpError{code: http.StatusNotImplemented, msg: err.Error()})
+	case errors.Is(err, ErrCheckpointBusy):
+		s.fail(w, &httpError{code: http.StatusConflict, msg: err.Error()})
+	case err != nil:
+		s.fail(w, &httpError{code: http.StatusInternalServerError, msg: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
 type batchRequest struct {
@@ -503,11 +550,11 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 		engSpan.SetAttr("parallelism", par)
 		switch req.Kind {
 		case "search":
-			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau, Parallelism: par})
+			matches, qstats, qerr = s.eng.SearchQuery(core.Query{Q: req.Q, Tau: tau, Parallelism: par, Ctx: ctx})
 		case "topk":
-			matches, qstats, qerr = s.eng.SearchTopKStats(req.Q, req.K, core.TopKOptions{Parallelism: par})
+			matches, qstats, qerr = s.eng.SearchTopKStats(req.Q, req.K, core.TopKOptions{Parallelism: par, Ctx: ctx})
 		case "temporal":
-			qr := core.Query{Q: req.Q, Tau: tau, Parallelism: par}
+			qr := core.Query{Q: req.Q, Tau: tau, Parallelism: par, Ctx: ctx}
 			qr.Temporal.Mode = mode
 			qr.Temporal.Lo, qr.Temporal.Hi = req.Lo, req.Hi
 			qr.Temporal.DisablePrefilter = req.NoPrefilter
@@ -520,7 +567,12 @@ func (s *Server) execute(ctx context.Context, req *queryRequest) (*queryResponse
 	})
 	if perr != nil {
 		poolSpan.End() // never acquired a slot; close the wait span
-		return nil, &httpError{code: http.StatusServiceUnavailable, msg: perr.Error()}
+		if cerr := ctx.Err(); cerr != nil {
+			// The request's own deadline (or the client) gave up while
+			// queued — a timeout, not an overload signal.
+			return nil, mapEngineError(cerr)
+		}
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: perr.Error(), retryAfterSec: 1}
 	}
 	if qerr != nil {
 		return nil, mapEngineError(qerr)
@@ -701,11 +753,19 @@ func temporalMode(s string) (core.TemporalMode, error) {
 }
 
 // mapEngineError classifies engine failures: ill-posed query parameters
-// are the client's fault, anything else is ours.
+// are the client's fault, an expired deadline is a timeout (504), a
+// canceled context means the client hung up (the response is best-effort
+// 503), anything else is ours.
 func mapEngineError(err error) error {
 	var infeasible filter.ErrInfeasible
 	if errors.Is(err, core.ErrEmptyQuery) || errors.Is(err, core.ErrTauTooLarge) || errors.As(err, &infeasible) {
 		return &httpError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &httpError{code: http.StatusGatewayTimeout, msg: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &httpError{code: http.StatusServiceUnavailable, msg: err.Error()}
 	}
 	return &httpError{code: http.StatusInternalServerError, msg: err.Error()}
 }
@@ -744,6 +804,10 @@ type StatsSnapshot struct {
 		// Slow counts requests at or above the configured slow-query
 		// threshold (the ones retained by /v1/debug/traces).
 		Slow int64 `json:"slow"`
+		// Panics counts handler panics recovered into 500s; Checkpoint
+		// counts /v1/checkpoint requests.
+		Panics     int64 `json:"panics"`
+		Checkpoint int64 `json:"checkpoint"`
 	} `json:"requests"`
 	// GPS aggregates the map-matching pipeline: every matcher run —
 	// whether from /v1/match, /v1/ingest, or a trace-carrying query —
@@ -776,7 +840,25 @@ type StatsSnapshot struct {
 		InFlight int64 `json:"in_flight"`
 		Waited   int64 `json:"waited"`
 		Rejected int64 `json:"rejected"`
+		// Shed counts the subset of rejections caused by the queue-wait
+		// bound — fast 503s under sustained overload.
+		Shed int64 `json:"shed"`
 	} `json:"pool"`
+	// Durability reports the write-ahead-log state; all-zero (Enabled
+	// false) on a volatile engine.
+	Durability struct {
+		Enabled           bool   `json:"enabled"`
+		SyncPolicy        string `json:"sync_policy,omitempty"`
+		WALBytes          int64  `json:"wal_bytes"`
+		WALRecords        int64  `json:"wal_records"`
+		WALSyncs          int64  `json:"wal_syncs"`
+		Generation        uint64 `json:"generation"`
+		Checkpoints       int64  `json:"checkpoints"`
+		CheckpointErrors  int64  `json:"checkpoint_errors"`
+		LastCheckpointGen uint64 `json:"last_checkpoint_generation"`
+		SnapshotRecords   int64  `json:"snapshot_records"`
+		RecoveryReplayed  int64  `json:"recovery_replayed_records"`
+	} `json:"durability"`
 	Totals struct {
 		Executed         int64 `json:"executed"`
 		Candidates       int64 `json:"candidates"`
@@ -851,6 +933,8 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Requests.Batch = s.stats.batch.Load()
 	out.Requests.Errors = s.stats.errors.Load()
 	out.Requests.Slow = s.stats.slowQueries.Load()
+	out.Requests.Panics = s.stats.panics.Load()
+	out.Requests.Checkpoint = s.stats.checkpoint.Load()
 	out.GPS.Enabled = s.matcher != nil
 	out.GPS.TracesMatched = s.stats.tracesMatched.Load()
 	out.GPS.TracesFailed = s.stats.tracesFailed.Load()
@@ -874,6 +958,21 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.Pool.InFlight = s.pool.inFlight.Load()
 	out.Pool.Waited = s.pool.waited.Load()
 	out.Pool.Rejected = s.pool.rejected.Load()
+	out.Pool.Shed = s.pool.shed.Load()
+	if d := s.eng.Durable(); d != nil {
+		ws := d.WALStats()
+		out.Durability.Enabled = true
+		out.Durability.SyncPolicy = d.SyncPolicy()
+		out.Durability.WALBytes = ws.Bytes
+		out.Durability.WALRecords = ws.Records
+		out.Durability.WALSyncs = ws.Syncs
+		out.Durability.Generation = ws.Gen
+		out.Durability.Checkpoints = d.Checkpoints()
+		out.Durability.CheckpointErrors = d.CheckpointErrors()
+		out.Durability.LastCheckpointGen = d.LastCheckpointGen()
+		out.Durability.SnapshotRecords = d.SnapshotRecords()
+		out.Durability.RecoveryReplayed = d.ReplayedRecords()
+	}
 	out.Totals.Executed = s.stats.executed.Load()
 	out.Totals.Candidates = s.stats.candidates.Load()
 	out.Totals.Matches = s.stats.matches.Load()
@@ -939,6 +1038,9 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	var herr *httpError
 	if errors.As(err, &herr) {
 		code = herr.code
+		if herr.retryAfterSec > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", herr.retryAfterSec))
+		}
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -28,12 +28,17 @@ func (s *SafeEngine) Inner() *server.SafeEngine { return s.inner }
 // Generation counts Appends; caches use it as a validity tag.
 func (s *SafeEngine) Generation() uint64 { return s.inner.Generation() }
 
-// Append indexes one more trajectory and returns its ID.
-func (s *SafeEngine) Append(t Trajectory) int32 { return s.inner.Append(t) }
+// Append indexes one more trajectory and returns its ID. The error is
+// always nil on a volatile engine; on a durable one (server.OpenDurable)
+// it surfaces write-ahead-log failures, in which case nothing was
+// applied.
+func (s *SafeEngine) Append(t Trajectory) (int32, error) { return s.inner.Append(t) }
 
 // AppendBatch indexes several trajectories under one write-lock
 // acquisition (the GPS ingestion path) and returns their IDs in order.
-func (s *SafeEngine) AppendBatch(ts []Trajectory) []int32 { return s.inner.AppendBatch(ts) }
+// On a durable engine the batch is logged as one atomic frame; on error
+// nothing was applied.
+func (s *SafeEngine) AppendBatch(ts []Trajectory) ([]int32, error) { return s.inner.AppendBatch(ts) }
 
 // Search returns every match with wed(P[s..t], Q) < tau.
 func (s *SafeEngine) Search(q []Symbol, tau float64) ([]Match, error) {
