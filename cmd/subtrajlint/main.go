@@ -1,0 +1,142 @@
+// Command subtrajlint runs the repo's invariant analyzers (see
+// internal/analysis) over the module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/subtrajlint ./...
+//	go run ./cmd/subtrajlint -only poolpair,errsync ./...
+//	go run ./cmd/subtrajlint -list
+//
+// The package patterns are advisory: the whole module is always loaded
+// (test files included), and findings are reported for every package
+// matching the patterns ("./..." or import-path prefixes). CI runs the
+// full-tree form as a required gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"subtraj/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "subtrajlint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	dir, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subtrajlint: %v\n", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subtrajlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs = filterPackages(pkgs, flag.Args())
+	diags, err := analysis.RunAnalyzers(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subtrajlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "subtrajlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:strings.LastIndexByte(dir, '/')+1]
+		if parent == "" || parent == dir || parent == "/" && dir == "/" {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = strings.TrimRight(parent, "/")
+		if dir == "" {
+			dir = "/"
+		}
+	}
+}
+
+// filterPackages keeps packages matching the CLI patterns. "./..." (and no
+// patterns at all) means everything; "./internal/wal" or a full import
+// path selects a subtree.
+func filterPackages(pkgs []*analysis.LoadedPackage, patterns []string) []*analysis.LoadedPackage {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	match := func(path string) bool {
+		for _, pat := range patterns {
+			if pat == "./..." || pat == "all" {
+				return true
+			}
+			dots := strings.HasSuffix(pat, "/...")
+			pat = strings.TrimSuffix(pat, "/...")
+			pat = strings.TrimPrefix(pat, "./")
+			if path == pat || strings.HasSuffix(path, "/"+pat) {
+				return true
+			}
+			if dots && (strings.Contains(path, "/"+pat+"/") || strings.HasPrefix(path, pat+"/")) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.LoadedPackage
+	for _, lp := range pkgs {
+		if match(lp.PkgPath) {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

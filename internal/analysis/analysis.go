@@ -1,0 +1,298 @@
+// Package analysis is the repo's static-analysis suite: six analyzers that
+// machine-enforce invariants the codebase otherwise carries only as
+// convention — lock discipline, pool Get/Put pairing, hot-loop
+// cancellation polls, atomic-field access, checked durability errors, and
+// the no-map-iteration half of the bit-equal determinism contract.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only,
+// keeping the root module dependency-free: packages are loaded with
+// `go list`, parsed with go/parser, and type-checked with go/types
+// against gc export data for standard-library imports (see load.go).
+// If x/tools ever becomes an acceptable dependency, each Run function
+// ports to a real analysis.Analyzer mechanically.
+//
+// Annotation grammar (all forms are line comments):
+//
+//	// guarded by mu                  on a struct field: the field may only
+//	                                  be accessed while the sibling mutex
+//	                                  field mu is held (lockguard)
+//	// subtrajlint:locked mu — why    on a func: accesses to mu-guarded
+//	                                  fields are sanctioned here (caller
+//	                                  holds the lock, or the state is
+//	                                  construction-immutable) (lockguard)
+//	// subtrajlint:pool-get X.Put     on a func: calling it acquires a
+//	                                  pooled value the caller must return
+//	                                  via X.Put (poolpair)
+//	// subtrajlint:pool-transfer      on a func: ownership of the pooled
+//	                                  value it Gets leaves the function by
+//	                                  design (poolpair)
+//	// subtrajlint:pool-nodefer why   on a func: a non-deferred Put is
+//	                                  sanctioned (no panic can escape
+//	                                  between Get and Put) (poolpair)
+//	// subtrajlint:hotloop            on a for/range statement: every
+//	                                  iteration must poll cancellation
+//	                                  (ctxpoll)
+//	// subtrajlint:unordered-ok why   on a range-over-map statement in a
+//	                                  determinism-scoped package: iteration
+//	                                  order provably cannot reach results
+//	                                  (maporder)
+//	// subtrajlint:nonatomic why      on a func: plain access to an
+//	                                  atomically-used field is sanctioned
+//	                                  (pre-publication init) (atomicfield)
+//	// subtrajlint:ignore-err why     on the line of (or above) a call
+//	                                  statement: discarding this Sync/
+//	                                  Close/... error is sanctioned
+//	                                  (errsync)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and -only
+	// filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package under analysis.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the path the package was requested as. For test-variant
+	// packages it is the base import path (analyzer scoping treats the
+	// test variant like its base package).
+	PkgPath string
+
+	report func(Diagnostic)
+	// comments caches per-file comment line maps.
+	comments map[*ast.File]*commentIndex
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// --- comment/annotation indexing -----------------------------------------
+
+// commentIndex maps source lines to the comment text on or immediately
+// above them, which is how every subtrajlint annotation binds to code.
+type commentIndex struct {
+	// onLine[n] is the concatenated text of comments whose position is on
+	// line n (trailing same-line comments included).
+	onLine map[int]string
+}
+
+func (p *Pass) commentsFor(f *ast.File) *commentIndex {
+	if p.comments == nil {
+		p.comments = make(map[*ast.File]*commentIndex)
+	}
+	if idx, ok := p.comments[f]; ok {
+		return idx
+	}
+	idx := &commentIndex{onLine: make(map[int]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := p.Fset.Position(c.Pos()).Line
+			if prev, ok := idx.onLine[line]; ok {
+				idx.onLine[line] = prev + "\n" + c.Text
+			} else {
+				idx.onLine[line] = c.Text
+			}
+		}
+	}
+	p.comments[f] = idx
+	return idx
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// annotation returns the text of the comment attached to the node: a
+// comment on the node's own first line or on any directly preceding
+// comment line (a contiguous comment block ending on the line above).
+func (p *Pass) annotation(n ast.Node) string {
+	f := p.fileOf(n.Pos())
+	if f == nil {
+		return ""
+	}
+	idx := p.commentsFor(f)
+	line := p.Fset.Position(n.Pos()).Line
+	var parts []string
+	if txt, ok := idx.onLine[line]; ok {
+		parts = append(parts, txt)
+	}
+	for l := line - 1; l > 0; l-- {
+		txt, ok := idx.onLine[l]
+		if !ok {
+			break
+		}
+		parts = append(parts, txt)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// hasMarker reports whether node n carries the given subtrajlint marker
+// (e.g. "subtrajlint:hotloop"), either alone or followed by arguments.
+func (p *Pass) hasMarker(n ast.Node, marker string) bool {
+	return p.markerArgs(n, marker) != nil
+}
+
+// markerArgs returns the argument text after each occurrence of marker in
+// n's attached comments (nil if absent; empty strings for bare markers).
+func (p *Pass) markerArgs(n ast.Node, marker string) []string {
+	txt := p.annotation(n)
+	if txt == "" {
+		return nil
+	}
+	var args []string
+	for _, line := range strings.Split(txt, "\n") {
+		for _, frag := range strings.Split(line, "//") {
+			frag = strings.TrimSpace(frag)
+			if rest, ok := strings.CutPrefix(frag, marker); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					args = append(args, strings.TrimSpace(rest))
+				}
+			}
+		}
+	}
+	return args
+}
+
+// funcMarkerArgs looks the marker up on the declaration of the function
+// enclosing pos (doc comment or first-line trailing comment).
+func (p *Pass) funcMarkerArgs(pos token.Pos, marker string) []string {
+	fn := p.enclosingFunc(pos)
+	if fn == nil {
+		return nil
+	}
+	return p.markerArgs(fn, marker)
+}
+
+// enclosingFunc returns the innermost FuncDecl containing pos. Function
+// literals inherit their enclosing declaration's annotations.
+func (p *Pass) enclosingFunc(pos token.Pos) *ast.FuncDecl {
+	f := p.fileOf(pos)
+	if f == nil {
+		return nil
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// --- small shared helpers -------------------------------------------------
+
+// calleeName splits a call into (package-or-receiver name, method/func
+// name) on a best-effort syntactic basis: verify.Get → ("verify", "Get"),
+// f.Close → ("f", "Close"), Get → ("", "Get").
+func calleeName(call *ast.CallExpr) (recv, name string) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name, fn.Sel.Name
+		}
+		return "", fn.Sel.Name
+	}
+	return "", ""
+}
+
+// typeNameOf unwraps pointers and returns the named type of t, if any.
+func typeNameOf(t types.Type) *types.TypeName {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgFunc reports whether the call resolves (via type info) to the
+// function pkgPath.name, or — when the exact package path is not loaded,
+// as in analysistest fixtures — to a function name in a package whose
+// final path element matches the last element of pkgPath.
+func (p *Pass) isPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	got := obj.Pkg().Path()
+	if got == pkgPath {
+		return true
+	}
+	want := pkgPath
+	if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+		want = pkgPath[i+1:]
+	}
+	gotBase := got
+	if i := strings.LastIndex(got, "/"); i >= 0 {
+		gotBase = got[i+1:]
+	}
+	return gotBase == want
+}
+
+// SortDiagnostics orders ds by file position then analyzer name, the
+// stable order the driver and tests print in.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

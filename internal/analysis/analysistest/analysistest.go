@@ -1,0 +1,254 @@
+// Package analysistest runs one analyzer over a GOPATH-style fixture
+// tree and checks its diagnostics against expectation comments, mirroring
+// the golang.org/x/tools analysistest contract with only the standard
+// library (the root module is dependency-free by design).
+//
+// A fixture lives at <dir>/src/<pkg>/*.go. Fixture packages may import
+// each other by bare path ("verify" resolves to <dir>/src/verify);
+// everything else is satisfied from gc export data, offline.
+//
+// Expectations are comments on the line the diagnostic is reported at:
+//
+//	f.Close() // want "Close error discarded"
+//
+// The quoted string is a regexp matched against the diagnostic message.
+// Several `"re"` strings after one want expect several diagnostics on the
+// line. When the diagnostic anchors to a comment that cannot also carry a
+// want (a stale directive, for example), put the expectation on the next
+// line with wantup:
+//
+//	//subtrajlint:hotloop
+//	x := 1 // wantup "not attached"
+//
+// Every diagnostic must be wanted and every want must be matched; either
+// kind of mismatch fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"subtraj/internal/analysis"
+)
+
+// Result is the outcome of analyzing one fixture package.
+type Result struct {
+	// Diagnostics is everything the analyzer reported, in stable order.
+	Diagnostics []analysis.Diagnostic
+	// Unexpected describes diagnostics no want comment covers.
+	Unexpected []string
+	// Unmatched describes want comments no diagnostic fulfilled.
+	Unmatched []string
+}
+
+// Ok reports whether every diagnostic was wanted and every want matched.
+func (r *Result) Ok() bool { return len(r.Unexpected) == 0 && len(r.Unmatched) == 0 }
+
+// Run analyzes <dir>/src/<pkg> with a and fails t on infrastructure
+// errors or expectation mismatches.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
+	t.Helper()
+	res, err := Analyze(a, dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, u := range res.Unexpected {
+		t.Errorf("unexpected diagnostic: %s", u)
+	}
+	for _, u := range res.Unmatched {
+		t.Errorf("want not matched: %s", u)
+	}
+}
+
+// Analyze loads the fixture package, runs the analyzer, and matches
+// diagnostics against want comments. Infrastructure failures (missing
+// fixture, parse or type errors) return an error; expectation mismatches
+// are data in the Result, so a meta-test can assert that a seeded
+// violation would fail the suite.
+func Analyze(a *analysis.Analyzer, dir, pkg string) (*Result, error) {
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset: fset,
+		src:  filepath.Join(dir, "src"),
+		std:  analysis.NewStdImporter(fset, "."),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	fp, err := ld.load(pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := analysis.RunOnPackage(a, fset, fp.files, fp.pkg, fp.info, pkg)
+	if err != nil {
+		return nil, fmt.Errorf("running %s on %s: %w", a.Name, pkg, err)
+	}
+
+	wants := collectWants(fset, fp.files)
+	res := &Result{Diagnostics: diags}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !fulfill(wants, pos, d.Message) {
+			res.Unexpected = append(res.Unexpected,
+				fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			res.Unmatched = append(res.Unmatched,
+				fmt.Sprintf("%s:%d: want %q", w.file, w.line, w.re.String()))
+		}
+	}
+	return res, nil
+}
+
+// want is one expectation: a diagnostic on (file, line) whose message
+// matches re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`\b(want|wantup)((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts want/wantup expectations from the fixture's
+// comments. wantup anchors the expectation one line above its comment.
+func collectWants(fset *token.FileSet, files []*ast.File) []*want {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] == "wantup" {
+					line--
+				}
+				for _, q := range wantStrRE.FindAllStringSubmatch(m[2], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						// Surface the broken expectation as an unmatchable
+						// want rather than silently dropping it.
+						re = regexp.MustCompile(regexp.QuoteMeta("(bad want regexp: " + q[1] + ")"))
+					}
+					wants = append(wants, &want{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fulfill marks the first unmatched want on the diagnostic's line whose
+// regexp matches, reporting whether one was found.
+func fulfill(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// --- fixture loading ------------------------------------------------------
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages on demand, resolving their
+// imports to sibling fixture directories first and gc export data
+// otherwise.
+type fixtureLoader struct {
+	fset *token.FileSet
+	src  string
+	std  *analysis.StdImporter
+	pkgs map[string]*fixturePkg
+
+	loading []string // cycle detection
+}
+
+func (ld *fixtureLoader) load(pkg string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[pkg]; ok {
+		return fp, nil
+	}
+	for _, p := range ld.loading {
+		if p == pkg {
+			return nil, fmt.Errorf("fixture import cycle through %q", pkg)
+		}
+	}
+	ld.loading = append(ld.loading, pkg)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	dir := filepath.Join(ld.src, filepath.FromSlash(pkg))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", pkg, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q: no .go files in %s", pkg, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		af, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("fixture %s: %w", name, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := &types.Config{Importer: (*fixtureImporter)(ld)}
+	p, err := cfg.Check(pkg, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %q: type-check: %w", pkg, err)
+	}
+	fp := &fixturePkg{files: files, pkg: p, info: info}
+	ld.pkgs[pkg] = fp
+	return fp, nil
+}
+
+// fixtureImporter adapts the loader to types.Importer: local fixture
+// directories win, everything else falls through to export data.
+type fixtureImporter fixtureLoader
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	ld := (*fixtureLoader)(im)
+	if st, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.std.Import(path)
+}

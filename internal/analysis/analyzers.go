@@ -1,0 +1,13 @@
+package analysis
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Lockguard,
+		Poolpair,
+		Ctxpoll,
+		Atomicfield,
+		Errsync,
+		Maporder,
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield enforces all-or-nothing atomicity: once any site touches a
+// struct field through a sync/atomic function (atomic.LoadInt64(&x.f),
+// atomic.AddUint64(&x.f, 1), ...), every access to that field must be
+// atomic — a single plain read racing an atomic write is still a data
+// race, and the /v1/stats ↔ /metrics bridge reads exactly such counters
+// concurrently with their writers. Typed atomics (atomic.Int64 fields)
+// are immune by construction and preferred; this analyzer guards the
+// raw-integer form. Pre-publication initialization (a constructor filling
+// a struct no other goroutine can see yet) is sanctioned with
+// `// subtrajlint:nonatomic <why>` on the enclosing function.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "require atomically-accessed fields to be atomic at every site",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: find fields whose address flows into a sync/atomic call,
+	// remembering the selector nodes already inside atomic calls.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pass, sel); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a violation unless
+	// the enclosing function is explicitly sanctioned.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil || !atomicFields[fv] {
+				return true
+			}
+			if args := pass.funcMarkerArgs(sel.Pos(), "subtrajlint:nonatomic"); args != nil {
+				if allEmpty(args) {
+					pass.Reportf(sel.Pos(), "subtrajlint:nonatomic needs a reason (e.g. pre-publication initialization)")
+				}
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races it — use the atomic API here too, switch the field to a typed atomic, or annotate the function `// subtrajlint:nonatomic <why>`", fv.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a top-level function of
+// sync/atomic.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// Methods of atomic.Int64 etc. have a receiver; only package-level
+	// functions take raw addresses.
+	sig, _ := fn.Type().(*types.Signature)
+	return fn.Pkg().Path() == "sync/atomic" && sig != nil && sig.Recv() == nil
+}
+
+// fieldVar resolves sel to the struct field it selects, if any.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ctxpoll enforces the cancellation contract PR 8 established on the
+// engine's hot loops: a loop marked `// subtrajlint:hotloop` must poll
+// cancellation on every iteration — a call to ctx.Err() or ctx.Done() on
+// a context.Context, or to the engine's ctxErr helper — so a server
+// deadline interrupts a slow query in bounded time instead of letting it
+// run to completion. The analyzer also flags hotloop markers that are not
+// attached to a for/range statement (stale annotations after refactors).
+var Ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "require marked hot loops to poll context cancellation each iteration",
+	Run:  runCtxpoll,
+}
+
+const hotloopMarker = "subtrajlint:hotloop"
+
+func runCtxpoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Collect the lines carrying hotloop markers; loops consume the
+		// ones they are annotated with, leftovers are stale.
+		// Only directive-style comments count (`// subtrajlint:hotloop`
+		// and nothing else on the comment): prose that merely mentions
+		// the marker, like this sentence, is not an annotation.
+		markerLines := make(map[int]token.Pos)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				txt := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if txt == hotloopMarker {
+					markerLines[pass.Fset.Position(c.Pos()).Line] = c.Pos()
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !pass.hasMarker(n, hotloopMarker) {
+				return true
+			}
+			// Consume this loop's marker line(s): the annotation sits on
+			// the loop's first line or the contiguous comment block above.
+			line := pass.Fset.Position(n.Pos()).Line
+			delete(markerLines, line)
+			for l := line - 1; ; l-- {
+				if _, ok := markerLines[l]; ok {
+					delete(markerLines, l)
+					continue
+				}
+				if _, isComment := pass.commentsFor(pass.fileOf(n.Pos())).onLine[l]; !isComment {
+					break
+				}
+			}
+			if !pollsCancellation(pass, body) {
+				pass.Reportf(n.Pos(), "hot loop does not poll cancellation: call ctx.Err()/ctx.Done() (or the ctxErr helper) each iteration, or drop the subtrajlint:hotloop marker")
+			}
+			return true
+		})
+		for _, pos := range markerLines {
+			pass.Reportf(pos, "subtrajlint:hotloop marker is not attached to a for/range statement")
+		}
+	}
+	return nil
+}
+
+// pollsCancellation reports whether the loop body contains a cancellation
+// poll: ctx.Err(), ctx.Done(), <-ctx.Done() in a select, or a call to a
+// function named ctxErr (the engine's nil-tolerant helper).
+func pollsCancellation(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, name := calleeName(call); name == "ctxErr" {
+			found = true
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel.X]; ok {
+			if named := typeNameOf(tv.Type); named != nil && named.Pkg() != nil &&
+				named.Pkg().Path() == "context" && named.Name() == "Context" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

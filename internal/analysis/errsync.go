@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ErrsyncPackages scopes the errsync analyzer to the durability-critical
+// packages: the write-ahead log and the server's checkpoint/recovery
+// path, where a swallowed Sync/Close/Truncate error silently breaks the
+// crash-safety contract (an acknowledged append must survive a crash).
+// The "errsync" entry scopes the analysistest fixture package.
+var ErrsyncPackages = []string{
+	"subtraj/internal/wal",
+	"subtraj/internal/server",
+	"errsync",
+}
+
+// errsyncMethods are the error-returning filesystem operations whose
+// results must be checked on the durability path. A dropped Sync error is
+// the classic fsyncgate bug: the kernel reports the lost write exactly
+// once, and ignoring it acknowledges data that never reached disk.
+var errsyncMethods = map[string]bool{
+	"Sync":     true,
+	"Close":    true,
+	"Truncate": true,
+	"Seek":     true,
+	"Rename":   true,
+}
+
+// Errsync flags statements in the scoped packages that discard the error
+// of Sync/Close/Truncate/Seek/Rename — a bare expression statement or a
+// bare `defer f.Close()`. Best-effort cleanup on an already-failing path
+// is sanctioned explicitly: either assign `_ =` or annotate the statement
+// `// subtrajlint:ignore-err <why>`.
+var Errsync = &Analyzer{
+	Name: "errsync",
+	Doc:  "require checked errors from Sync/Close/Truncate/Seek/Rename on durability paths",
+	Run:  runErrsync,
+}
+
+func runErrsync(pass *Pass) error {
+	if !inScope(pass.PkgPath, ErrsyncPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Within the server package only the durability layer is in scope
+		// (durable.go and its tests); the HTTP handlers' resp.Body.Close()
+		// style cleanup is not a crash-safety concern.
+		if strings.HasPrefix(pass.PkgPath, "subtraj/internal/server") {
+			name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if !strings.HasPrefix(name, "durable") {
+				continue
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var stmt ast.Stmt
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				stmt = s
+			case *ast.DeferStmt:
+				call = s.Call
+				stmt = s
+			case *ast.GoStmt:
+				call = s.Call
+				stmt = s
+			default:
+				return true
+			}
+			if call == nil || !errsyncTarget(pass, call) {
+				return true
+			}
+			if pass.hasMarker(stmt, "subtrajlint:ignore-err") {
+				if allEmpty(pass.markerArgs(stmt, "subtrajlint:ignore-err")) {
+					pass.Reportf(stmt.Pos(), "subtrajlint:ignore-err needs a reason explaining why this error is discardable")
+				}
+				return true
+			}
+			_, name := calleeName(call)
+			pass.Reportf(stmt.Pos(), "%s error discarded on a durability path: check it, assign `_ =` deliberately, or annotate `// subtrajlint:ignore-err <why>`", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// errsyncTarget reports whether call is one of the watched operations and
+// actually returns an error that the surrounding statement drops.
+func errsyncTarget(pass *Pass, call *ast.CallExpr) bool {
+	_, name := calleeName(call)
+	if !errsyncMethods[name] {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	return returnsError(tv.Type)
+}
+
+// returnsError reports whether t (a call's result type) is or contains an
+// error.
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named := typeNameOf(t)
+	return named != nil && named.Pkg() == nil && named.Name() == "error"
+}

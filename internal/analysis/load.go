@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file loads and type-checks every package of a module — including
+// in-package test files and external _test packages — using only the
+// standard library. Module packages are parsed and checked from source in
+// dependency order; standard-library imports are satisfied from gc export
+// data located with `go list -export` (offline: the data comes from the
+// local build cache). This replaces golang.org/x/tools/go/packages, which
+// the dependency-free root module cannot take on.
+
+// LoadedPackage is one type-checked unit of analysis.
+type LoadedPackage struct {
+	// PkgPath is the base import path ("subtraj/internal/core" for both
+	// the package, its test-augmented variant, and its _test package).
+	PkgPath string
+	// Variant is "" for a plain package, "test" for the package augmented
+	// with its in-package _test.go files, "xtest" for the external test
+	// package.
+	Variant string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// LoadModule loads every package of the module rooted at dir (the
+// directory containing go.mod), type-checking plain packages first and
+// test variants on top. The returned packages are in deterministic
+// (dependency, then path) order: for each import path the test-augmented
+// variant replaces the plain one when in-package test files exist, and an
+// xtest package follows when external test files exist — so every source
+// file of the module is analyzed exactly once.
+func LoadModule(dir string) (*token.FileSet, []*LoadedPackage, error) {
+	out, err := runGo(dir, "list", "-json", "./...")
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list: %w", err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	byPath := make(map[string]*listedPackage)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+		byPath[lp.ImportPath] = lp
+	}
+	if len(pkgs) == 0 {
+		return nil, nil, fmt.Errorf("analysis: no packages under %s", dir)
+	}
+
+	order, err := topoOrder(pkgs, byPath)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	std := NewStdImporter(fset, dir)
+	base := make(map[string]*types.Package)
+	ld := &loader{fset: fset, std: std, base: base}
+
+	var loaded []*LoadedPackage
+	// Pass 1: plain packages in dependency order, so every module import
+	// resolves to an already-checked package.
+	for _, lp := range order {
+		p, err := ld.check(lp.ImportPath, lp.Name, lp.Dir, lp.GoFiles, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		base[lp.ImportPath] = p.Pkg
+		if len(lp.TestGoFiles) == 0 {
+			loaded = append(loaded, p)
+		}
+	}
+	// Pass 2: test variants. The augmented package re-checks
+	// GoFiles+TestGoFiles (its in-package test imports all resolve to
+	// plain packages); the xtest package sees the augmented one under the
+	// base import path.
+	for _, lp := range order {
+		var aug *types.Package
+		if len(lp.TestGoFiles) > 0 {
+			p, err := ld.check(lp.ImportPath, lp.Name, lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...), nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Variant = "test"
+			aug = p.Pkg
+			loaded = append(loaded, p)
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			self := map[string]*types.Package{}
+			if aug != nil {
+				self[lp.ImportPath] = aug
+			}
+			p, err := ld.check(lp.ImportPath, lp.Name+"_test", lp.Dir, lp.XTestGoFiles, self)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Variant = "xtest"
+			loaded = append(loaded, p)
+		}
+	}
+	return fset, loaded, nil
+}
+
+// topoOrder sorts module packages so that every package follows its
+// module-internal (non-test) imports.
+func topoOrder(pkgs []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*listedPackage
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", lp.ImportPath)
+		case black:
+			return nil
+		}
+		state[lp.ImportPath] = gray
+		for _, imp := range lp.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = black
+		order = append(order, lp)
+		return nil
+	}
+	for _, lp := range pkgs {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// loader type-checks one package's worth of files against already-checked
+// module packages plus the stdlib importer.
+type loader struct {
+	fset *token.FileSet
+	std  *StdImporter
+	base map[string]*types.Package
+}
+
+func (ld *loader) check(pkgPath, name, dir string, files []string, selfOverride map[string]*types.Package) (*LoadedPackage, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(ld.fset, filepath.Join(dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", f, err)
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	imp := &combinedImporter{module: ld.base, override: selfOverride, std: ld.std}
+	cfg := &types.Config{Importer: imp}
+	pkg, err := cfg.Check(pkgPath, ld.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", pkgPath, err)
+	}
+	if name != "" && pkg.Name() != name {
+		return nil, fmt.Errorf("analysis: %s: package name %q, want %q", pkgPath, pkg.Name(), name)
+	}
+	return &LoadedPackage{PkgPath: pkgPath, Files: asts, Pkg: pkg, Info: info}, nil
+}
+
+// combinedImporter resolves module-internal imports from the loader's map
+// (override first, for xtest self-imports) and everything else from gc
+// export data.
+type combinedImporter struct {
+	module   map[string]*types.Package
+	override map[string]*types.Package
+	std      *StdImporter
+}
+
+func (ci *combinedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.override[path]; ok {
+		return p, nil
+	}
+	if p, ok := ci.module[path]; ok {
+		return p, nil
+	}
+	return ci.std.Import(path)
+}
+
+// --- stdlib export-data importer ------------------------------------------
+
+// StdImporter satisfies non-module imports from gc export data found via
+// `go list -export`. The go command reads (and if needed populates) the
+// local build cache, so this works offline and stays consistent with the
+// toolchain that builds the tree. Export-file locations are primed lazily
+// and in bulk: the first miss lists the package with -deps, so one go
+// invocation covers a package and its whole import closure.
+type StdImporter struct {
+	fset *token.FileSet
+	dir  string
+
+	mu      sync.Mutex
+	exports map[string]string // import path → export data file
+	gc      types.Importer
+}
+
+// NewStdImporter creates an importer running `go list` in dir.
+func NewStdImporter(fset *token.FileSet, dir string) *StdImporter {
+	s := &StdImporter{fset: fset, dir: dir, exports: make(map[string]string)}
+	s.gc = importer.ForCompiler(fset, "gc", s.lookup)
+	return s
+}
+
+// Import implements types.Importer.
+func (s *StdImporter) Import(path string) (*types.Package, error) {
+	return s.gc.Import(path)
+}
+
+func (s *StdImporter) lookup(path string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	file, ok := s.exports[path]
+	s.mu.Unlock()
+	if !ok {
+		if err := s.prime(path); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		file, ok = s.exports[path]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// prime resolves path and its import closure to export files.
+func (s *StdImporter) prime(path string) error {
+	out, err := runGo(s.dir, "list", "-export", "-json=ImportPath,Export", "-deps", path)
+	if err != nil {
+		return fmt.Errorf("analysis: go list -export %s: %w", path, err)
+	}
+	type entry struct{ ImportPath, Export string }
+	dec := json.NewDecoder(bytes.NewReader(out))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var e entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysis: decode go list -export output: %w", err)
+		}
+		if e.Export != "" {
+			s.exports[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}
+
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg != "" {
+			return nil, fmt.Errorf("%w: %s", err, msg)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to each loaded package and returns
+// the findings in stable (position, analyzer) order.
+func RunAnalyzers(fset *token.FileSet, pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    lp.Files,
+				Pkg:      lp.Pkg,
+				Info:     lp.Info,
+				PkgPath:  lp.PkgPath,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, lp.PkgPath, err)
+			}
+		}
+	}
+	SortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// RunOnPackage runs one analyzer over one already-type-checked package —
+// the entry point the analysistest harness uses.
+func RunOnPackage(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		PkgPath:  pkgPath,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	SortDiagnostics(fset, diags)
+	return diags, nil
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces annotated lock discipline: a struct field whose
+// comment says `// guarded by mu` (where mu is a sibling sync.Mutex or
+// sync.RWMutex field) may only be accessed inside functions that visibly
+// acquire that mutex — a call to <x>.mu.Lock() or <x>.mu.RLock()
+// somewhere in the function body — or that declare why they need not:
+//
+//	// subtrajlint:locked mu — <why>
+//
+// covering both "the caller holds mu" helpers and reads of
+// construction-immutable state that mu only guards against concurrent
+// mutation. The check is deliberately syntactic (presence of an acquire
+// in the same function, not a dominance proof): it catches the real
+// failure mode — a new method added without thinking about the lock —
+// while staying dependency-free and annotation-driven.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "restrict `guarded by mu` fields to functions that acquire (or declare) the mutex",
+	Run:  runLockguard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// fieldAnnotation returns the comment text the parser associated with the
+// field itself: its doc block above plus its trailing line comment. The
+// generic line-based annotation() helper is wrong here — it would credit
+// one field's trailing comment to the next field down.
+func fieldAnnotation(field *ast.Field) string {
+	var txt string
+	if field.Doc != nil {
+		txt += field.Doc.Text()
+	}
+	if field.Comment != nil {
+		txt += " " + field.Comment.Text()
+	}
+	return txt
+}
+
+func runLockguard(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	// acquireCache memoizes "does function fd acquire mutex mu" lookups.
+	type fnMu struct {
+		fd *ast.FuncDecl
+		mu *types.Var
+	}
+	acquireCache := make(map[fnMu]bool)
+	acquires := func(fd *ast.FuncDecl, mu *types.Var) bool {
+		key := fnMu{fd, mu}
+		if v, ok := acquireCache[key]; ok {
+			return v
+		}
+		v := fnAcquires(pass, fd, mu)
+		acquireCache[key] = v
+		return v
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			mu, ok := guarded[fv]
+			if !ok {
+				return true
+			}
+			fd := pass.enclosingFunc(sel.Pos())
+			if fd == nil {
+				pass.Reportf(sel.Pos(), "field %s is guarded by %s but is accessed outside any function", fv.Name(), mu.Name())
+				return true
+			}
+			for _, arg := range pass.markerArgs(fd, "subtrajlint:locked") {
+				if firstToken(arg) == mu.Name() {
+					return true
+				}
+			}
+			if acquires(fd, mu) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is guarded by %s, but %s neither acquires %s nor declares `// subtrajlint:locked %s — <why>`", fv.Name(), mu.Name(), fd.Name.Name, mu.Name(), mu.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuardedFields finds `guarded by mu` field annotations and
+// resolves each to (field var → mutex field var). An annotation naming a
+// sibling that is not a mutex is itself reported; one naming no sibling at
+// all is ignored as prose.
+func collectGuardedFields(pass *Pass) map[*types.Var]*types.Var {
+	guarded := make(map[*types.Var]*types.Var)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				txt := fieldAnnotation(field)
+				loc := guardedByRE.FindStringSubmatchIndex(txt)
+				if loc == nil {
+					continue
+				}
+				// "deliberately NOT guarded by mu" is an explicit opt-out,
+				// not an annotation.
+				if negatedGuard(txt, loc[0]) {
+					continue
+				}
+				m := []string{txt[loc[0]:loc[1]], txt[loc[2]:loc[3]]}
+				muName := m[1]
+				mu := findSiblingField(pass, st, muName)
+				if mu == nil {
+					continue // prose, e.g. "guarded by the caller"
+				}
+				if !isMutexType(mu.Type()) {
+					pass.Reportf(field.Pos(), "`guarded by %s` names a sibling field that is not a sync.Mutex/RWMutex", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[fv] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// negatedGuard reports whether the word immediately before the "guarded
+// by" match at offset negates it ("not guarded by mu").
+func negatedGuard(txt string, off int) bool {
+	head := strings.TrimRight(txt[:off], " \t")
+	return strings.HasSuffix(head, "not") || strings.HasSuffix(head, "NOT")
+}
+
+func findSiblingField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				v, _ := pass.Info.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	named := typeNameOf(t)
+	return named != nil && named.Pkg() != nil && named.Pkg().Path() == "sync" &&
+		(named.Name() == "Mutex" || named.Name() == "RWMutex")
+}
+
+// fnAcquires reports whether fd's body contains a Lock or RLock call on
+// the given mutex field (resolved through type info, so any receiver
+// variable of the owning struct counts).
+func fnAcquires(pass *Pass, fd *ast.FuncDecl, mu *types.Var) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fieldVar(pass, inner) == mu {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

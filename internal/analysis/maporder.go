@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaporderPackages scopes the maporder analyzer: the packages whose
+// outputs feed match results or plan construction, where the bit-equal
+// determinism contract (every parallelism setting, every run: identical
+// sorted matches) bans nondeterministic iteration. The "maporder" entry
+// scopes the analysistest fixture package.
+var MaporderPackages = []string{
+	"subtraj/internal/core",
+	"subtraj/internal/filter",
+	"subtraj/internal/verify",
+	"maporder",
+}
+
+// Maporder is the mechanical half of the determinism contract: no `range`
+// over a map in the scoped packages, because Go randomizes map iteration
+// order and anything downstream of candidate generation, verification, or
+// plan construction must be bit-equal across runs. Order-independent
+// reductions (sums, retire-and-reset recycling) carry an explicit
+// `// subtrajlint:unordered-ok <why>` with a reason.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid range-over-map on result/plan paths (determinism contract)",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	if !inScope(pass.PkgPath, MaporderPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Test files are off the result path by construction: the
+		// contract covers what feeds served matches and plans, and a
+		// membership-check loop in a test cannot reach them.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			args := pass.markerArgs(rs, "subtrajlint:unordered-ok")
+			if args == nil {
+				pass.Reportf(rs.Pos(), "range over map %s in a determinism-scoped package: map iteration order is random; restructure, or annotate the loop `// subtrajlint:unordered-ok <why>` if order provably cannot reach results", types.ExprString(rs.X))
+				return true
+			}
+			if allEmpty(args) {
+				pass.Reportf(rs.Pos(), "subtrajlint:unordered-ok needs a reason explaining why iteration order cannot reach results")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+func allEmpty(args []string) bool {
+	for _, a := range args {
+		if a != "" {
+			return false
+		}
+	}
+	return true
+}

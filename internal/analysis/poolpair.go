@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Poolpair enforces Get/Put discipline on the pooled scratch that keeps
+// the steady-state query path allocation-free: the verify package's
+// verifier pool (verify.Get/verify.Put), raw sync.Pool uses (the core
+// candidate buffers, the mapmatch scratch), and any function annotated
+// `// subtrajlint:pool-get <Put>` as a pool entry point. Within one
+// function, every acquisition must have a matching return, and the return
+// must be deferred — a panic escaping between Get and a straight-line Put
+// (a panicking cost model, an index bug) leaks the pooled value and, for
+// the verifier pool, silently degrades the zero-alloc contract the CI
+// alloc guard measures. Sanctioned exceptions:
+//
+//	// subtrajlint:pool-transfer       ownership leaves the function
+//	// subtrajlint:pool-get X.Put      this function IS a pool getter
+//	                                   (implies pool-transfer); callers
+//	                                   must pair it with X.Put
+//	// subtrajlint:pool-nodefer <why>  a non-deferred Put is safe here
+var Poolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "require pooled Get/Put to pair on every path, deferred where a panic can escape",
+	Run:  runPoolpair,
+}
+
+// poolUse is one Get or Put site within a function.
+type poolUse struct {
+	kind     string // "verify", "syncpool", or "custom:<PutName>"
+	pos      ast.Node
+	deferred bool
+}
+
+func runPoolpair(pass *Pass) error {
+	// Functions annotated as pool getters: callers of name must pair with
+	// the declared Put.
+	getters := make(map[string]string) // func name → required put callee
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if args := pass.markerArgs(fd, "subtrajlint:pool-get"); len(args) > 0 && args[0] != "" {
+				getters[fd.Name.Name] = firstToken(args[0])
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd, getters)
+		}
+	}
+	return nil
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, getters map[string]string) {
+	transfer := pass.hasMarker(fd, "subtrajlint:pool-transfer") ||
+		len(pass.markerArgs(fd, "subtrajlint:pool-get")) > 0
+	nodefer := pass.markerArgs(fd, "subtrajlint:pool-nodefer")
+	if nodefer != nil && allEmpty(nodefer) {
+		pass.Reportf(fd.Pos(), "subtrajlint:pool-nodefer needs a reason explaining why no panic can escape between Get and Put")
+	}
+
+	var gets, puts []poolUse
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			walk(s.Call, true)
+			return
+		case *ast.CallExpr:
+			if kind, isGet := classifyPoolCall(pass, s, getters); kind != "" {
+				use := poolUse{kind: kind, pos: s, deferred: deferred}
+				if isGet {
+					gets = append(gets, use)
+				} else {
+					puts = append(puts, use)
+				}
+			}
+		}
+		// Recurse manually so the deferred flag propagates into deferred
+		// closures (`defer func() { pool.Put(v) }()`).
+		for _, child := range childNodes(n) {
+			walk(child, deferred)
+		}
+	}
+	walk(fd.Body, false)
+
+	kinds := make(map[string]bool)
+	for _, g := range gets {
+		kinds[g.kind] = true
+	}
+	for kind := range kinds {
+		if transfer {
+			continue
+		}
+		var matched []poolUse
+		for _, p := range puts {
+			if p.kind == kind {
+				matched = append(matched, p)
+			}
+		}
+		if len(matched) == 0 {
+			for _, g := range gets {
+				if g.kind == kind {
+					pass.Reportf(g.pos.Pos(), "pooled value acquired here is never returned (%s): add the matching Put, or annotate the function `// subtrajlint:pool-transfer` if ownership leaves it", describePoolKind(kind))
+					break
+				}
+			}
+			continue
+		}
+		for _, p := range matched {
+			if !p.deferred && nodefer == nil {
+				pass.Reportf(p.pos.Pos(), "pooled Put is not deferred: a panic between Get and Put leaks the pooled value — use `defer`, or annotate the function `// subtrajlint:pool-nodefer <why>`")
+			}
+		}
+	}
+}
+
+// classifyPoolCall recognizes pool entry/exit calls. kind == "" means the
+// call is not pool-related; isGet distinguishes acquisitions.
+func classifyPoolCall(pass *Pass, call *ast.CallExpr, getters map[string]string) (kind string, isGet bool) {
+	recv, name := calleeName(call)
+
+	// The verify package's verifier pool.
+	if pass.isPkgFunc(call, "subtraj/internal/verify", "Get") {
+		return "verify", true
+	}
+	if pass.isPkgFunc(call, "subtraj/internal/verify", "Put") {
+		return "verify", false
+	}
+
+	// Puts declared by an annotated getter take precedence over the raw
+	// sync.Pool rule: `candBufs.Put(buf)` pairs with `getCandBuf()` even
+	// though candBufs is itself a sync.Pool.
+	full := name
+	if recv != "" {
+		full = recv + "." + name
+	}
+	for _, put := range getters {
+		if full == put || name == put {
+			return "custom:" + put, false
+		}
+	}
+
+	// Raw sync.Pool methods.
+	if name == "Get" || name == "Put" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if tv, ok := pass.Info.Types[sel.X]; ok {
+				if named := typeNameOf(tv.Type); named != nil && named.Pkg() != nil &&
+					named.Pkg().Path() == "sync" && named.Name() == "Pool" {
+					return "syncpool", name == "Get"
+				}
+			}
+		}
+	}
+
+	// Locally-annotated pool getters.
+	if recv == "" {
+		if put, ok := getters[name]; ok {
+			return "custom:" + put, true
+		}
+	}
+	return "", false
+}
+
+func describePoolKind(kind string) string {
+	switch kind {
+	case "verify":
+		return "verify.Get without verify.Put"
+	case "syncpool":
+		return "sync.Pool Get without Put"
+	default:
+		return "annotated pool getter without " + kind[len("custom:"):]
+	}
+}
+
+// childNodes returns n's direct AST children (a minimal Inspect step used
+// where the walk needs per-path state).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// firstToken returns the leading identifier-ish token of s (up to the
+// first space), so "candBufs.Put — reason" parses to "candBufs.Put".
+func firstToken(s string) string {
+	for i, r := range s {
+		if r == ' ' || r == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// Package atomicfield exercises the atomicfield analyzer: once any site
+// touches a field through sync/atomic, every access must be atomic.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	cold int64
+}
+
+// bump and read establish hits as an atomic field.
+func (s *stats) bump() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *stats) read() int64 { return atomic.LoadInt64(&s.hits) }
+
+// racy reads the atomic field without the atomic API.
+func (s *stats) racy() int64 {
+	return s.hits // want "plain access races it"
+}
+
+// newStats initializes pre-publication: sanctioned with a reason.
+//
+//subtrajlint:nonatomic pre-publication initialization; no other goroutine can see s yet
+func newStats(seed int64) *stats {
+	s := &stats{}
+	s.hits = seed
+	return s
+}
+
+// unsanctioned carries the marker without a reason.
+//
+//subtrajlint:nonatomic
+func (s *stats) reset() {
+	s.hits = 0 // want "needs a reason"
+}
+
+// coldPath is never touched atomically: plain access is fine.
+func (s *stats) coldPath() int64 { return s.cold }

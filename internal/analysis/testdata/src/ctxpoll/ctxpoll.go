@@ -1,0 +1,79 @@
+// Package ctxpoll exercises the ctxpoll analyzer: loops marked hotloop
+// must poll cancellation every iteration, and stale markers are flagged.
+package ctxpoll
+
+import "context"
+
+// polls checks ctx.Err each iteration: clean.
+func polls(ctx context.Context, xs []int) int {
+	total := 0
+	//subtrajlint:hotloop
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += x
+	}
+	return total
+}
+
+// pollsDone uses the Done channel form: clean.
+func pollsDone(ctx context.Context, xs []int) int {
+	total := 0
+	//subtrajlint:hotloop
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += x
+	}
+	return total
+}
+
+// pollsHelper calls a ctxErr-style helper: clean.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func pollsHelper(ctx context.Context, xs []int) (total int) {
+	//subtrajlint:hotloop
+	for _, x := range xs {
+		if ctxErr(ctx) != nil {
+			return total
+		}
+		total += x
+	}
+	return total
+}
+
+// missing is marked hot but never polls.
+func missing(ctx context.Context, xs []int) int {
+	_ = ctx
+	total := 0
+	//subtrajlint:hotloop
+	for _, x := range xs { // want "does not poll cancellation"
+		total += x
+	}
+	return total
+}
+
+// stale carries a marker that no longer sits on a loop.
+func stale() {
+	//subtrajlint:hotloop
+	x := 1 // wantup "not attached to a for/range"
+	_ = x
+}
+
+// unmarked loops are outside the contract.
+func unmarked(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

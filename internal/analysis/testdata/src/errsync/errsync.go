@@ -1,0 +1,48 @@
+// Package errsync exercises the errsync analyzer: Sync/Close/Truncate/
+// Seek/Rename errors on durability paths must be checked, deliberately
+// discarded with `_ =`, or annotated away with a reason.
+package errsync
+
+import "os"
+
+// unchecked drops the Close error on the floor.
+func unchecked(f *os.File) {
+	f.Close() // want "Close error discarded"
+}
+
+// deferredBare drops it just as silently behind a defer.
+func deferredBare(f *os.File) {
+	defer f.Close() // want "Close error discarded"
+}
+
+// uncheckedSync drops an fsync result — the classic fsyncgate bug.
+func uncheckedSync(f *os.File) {
+	f.Sync() // want "Sync error discarded"
+}
+
+// checked propagates the error: clean.
+func checked(f *os.File) error {
+	return f.Close()
+}
+
+// discarded assigns the error away explicitly: clean.
+func discarded(f *os.File) {
+	_ = f.Close()
+}
+
+// annotated sanctions a best-effort call with a reason: clean.
+func annotated(f *os.File) {
+	// subtrajlint:ignore-err best-effort cleanup on an already-failing path
+	f.Close()
+}
+
+// badAnnotation carries the marker without a reason.
+func badAnnotation(f *os.File) {
+	// subtrajlint:ignore-err
+	f.Sync() // want "needs a reason"
+}
+
+// write is not a watched method; unchecked is (here) out of scope.
+func write(f *os.File) {
+	f.Write(nil)
+}

@@ -1,0 +1,49 @@
+// Package lockguard exercises the lockguard analyzer: `guarded by mu`
+// fields may only be touched where the mutex is visibly acquired or the
+// function declares why it need not be.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	name string
+	bad  int // guarded by name — want "names a sibling field that is not a sync.Mutex"
+}
+
+// inc acquires the lock: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// addLocked is a lock-held helper: sanctioned by annotation.
+//
+//subtrajlint:locked mu — callers hold c.mu
+func (c *counter) addLocked(d int) { c.n += d }
+
+// leak reads the guarded field with no lock and no declaration.
+func (c *counter) leak() int {
+	return c.n // want "field n is guarded by mu"
+}
+
+// rlocked proves RLock counts as an acquisition.
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+func (g *gauge) read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// prose mentioning a guard without naming a sibling field is ignored.
+type free struct {
+	x int // guarded by the caller's serialization, not a mutex here
+}
+
+func (f *free) bump() { f.x++ }

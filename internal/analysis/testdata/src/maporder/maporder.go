@@ -1,0 +1,39 @@
+// Package maporder exercises the maporder analyzer: no range-over-map in
+// determinism-scoped packages without a reasoned annotation.
+package maporder
+
+// sum ranges a map bare: flagged.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+	return total
+}
+
+// sanctioned explains why order cannot reach results: clean.
+func sanctioned(m map[string]int) int {
+	total := 0
+	// subtrajlint:unordered-ok order-independent sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// emptyReason carries the marker but no justification.
+func emptyReason(m map[string]int) {
+	// subtrajlint:unordered-ok
+	for k := range m { // want "needs a reason"
+		delete(m, k)
+	}
+}
+
+// slices are ordered; ranging them is always fine.
+func slices(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

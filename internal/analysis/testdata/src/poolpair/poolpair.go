@@ -1,0 +1,89 @@
+// Package poolpair exercises the poolpair analyzer: verify.Get/Put, raw
+// sync.Pool uses, and annotated custom pool getters must pair on every
+// path, deferred unless declared panic-safe.
+package poolpair
+
+import (
+	"sync"
+
+	"verify"
+)
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// ok pairs Get with a deferred Put: clean.
+func ok() {
+	v := verify.Get()
+	defer verify.Put(v)
+	_ = v
+}
+
+// leak never returns the verifier.
+func leak() {
+	v := verify.Get() // want "verify.Get without verify.Put"
+	_ = v
+}
+
+// straightline pairs, but a panic between the calls would leak.
+func straightline() {
+	v := verify.Get()
+	verify.Put(v) // want "pooled Put is not deferred"
+}
+
+// sanctioned declares why the straight-line Put is safe.
+//
+//subtrajlint:pool-nodefer the body is straight-line arithmetic; nothing between Get and Put can panic
+func sanctioned() {
+	v := verify.Get()
+	verify.Put(v)
+}
+
+// transfer hands ownership to the caller.
+//
+//subtrajlint:pool-transfer
+func transfer() *verify.Verifier {
+	return verify.Get()
+}
+
+// deferredClosure returns the value from inside a deferred closure: the
+// deferred flag must propagate through the function literal.
+func deferredClosure() {
+	v := verify.Get()
+	defer func() {
+		verify.Put(v)
+	}()
+	_ = v
+}
+
+// poolLeak drops a raw sync.Pool value.
+func poolLeak() {
+	b := bufs.Get().(*[]byte) // want "sync.Pool Get without Put"
+	_ = b
+}
+
+// poolOK pairs the raw sync.Pool use.
+func poolOK() {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	_ = b
+}
+
+// getBuf checks a buffer out of the pool; callers return it with putBuf.
+//
+//subtrajlint:pool-get putBuf
+func getBuf() *[]byte { return bufs.Get().(*[]byte) }
+
+func putBuf(b *[]byte) { bufs.Put(b) }
+
+// customOK pairs the annotated getter with its declared put.
+func customOK() {
+	b := getBuf()
+	defer putBuf(b)
+	_ = b
+}
+
+// customLeak acquires through the annotated getter and never returns.
+func customLeak() {
+	b := getBuf() // want "annotated pool getter without putBuf"
+	_ = b
+}

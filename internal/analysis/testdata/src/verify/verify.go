@@ -1,0 +1,15 @@
+// Package verify is a stand-in for the engine's pooled-verifier package:
+// poolpair matches Get/Put by package base name, so this fixture
+// exercises the same pairing rules without importing the real engine.
+package verify
+
+// Verifier is a pooled scratch object.
+type Verifier struct {
+	used int
+}
+
+// Get checks a verifier out of the pool.
+func Get() *Verifier { return &Verifier{} }
+
+// Put returns a verifier to the pool.
+func Put(v *Verifier) { v.used = 0 }

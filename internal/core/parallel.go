@@ -43,6 +43,10 @@ func (e *Engine) EffectiveParallelism(p int) int {
 // buffers instead of growing a fresh slice per query (and per shard).
 var candBufs = sync.Pool{New: func() any { return new([]filter.Candidate) }}
 
+// getCandBuf checks a candidate buffer out of the pool; callers return it
+// with candBufs.Put once the candidates are consumed.
+//
+//subtrajlint:pool-get candBufs.Put
 func getCandBuf() *[]filter.Candidate {
 	buf := candBufs.Get().(*[]filter.Candidate)
 	*buf = (*buf)[:0]
@@ -73,6 +77,11 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
+	// Deferred (not straight-line) Puts: a panicking cost model escapes
+	// through here (fanOutShards re-raises on the sequential path's
+	// caller too), and a leaked verifier silently erodes the zero-alloc
+	// steady state the CI alloc guard measures.
+	defer func() { *buf = cands; candBufs.Put(buf) }()
 	for s := 0; s < e.idx.NumShards(); s++ {
 		src := e.idx.Source(s)
 		cands = e.shardCandidates(qr, plan, src, cands)
@@ -84,8 +93,10 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	defer verify.Put(ver)
 	var err error
 	prevID := int32(-1)
+	//subtrajlint:hotloop
 	for _, c := range cands {
 		// The cancellation point sits on trajectory-group boundaries:
 		// one group is the unit of verification work (a shared trie
@@ -102,9 +113,6 @@ func (e *Engine) runSequential(qr *Query, plan *filter.Plan, stats *QueryStats) 
 	res := ver.Results()
 	stats.VerifyTime = time.Since(start)
 	stats.Verify = ver.Stats
-	verify.Put(ver)
-	*buf = cands
-	candBufs.Put(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +214,9 @@ func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
 	buf := getCandBuf()
 	src := e.idx.Source(s)
 	cands := e.shardCandidates(qr, plan, src, *buf)
+	// Deferred so a panicking worker (re-raised by fanOutShards) cannot
+	// leak the buffer or the pooled verifier.
+	defer func() { *buf = cands; candBufs.Put(buf) }()
 	index.ReleaseSource(src)
 	filter.GroupByTrajectory(cands)
 	out.lookup = time.Since(start)
@@ -213,7 +224,9 @@ func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, qr.Q, qr.Tau, qr.Verify)
+	defer verify.Put(ver)
 	prevID := int32(-1)
+	//subtrajlint:hotloop
 	for _, c := range cands {
 		if c.ID != prevID {
 			prevID = c.ID
@@ -226,8 +239,5 @@ func (e *Engine) runShard(qr *Query, plan *filter.Plan, s int) shardOut {
 	out.matches = ver.Results()
 	out.verify = time.Since(start)
 	out.vstats = ver.Stats
-	verify.Put(ver)
-	*buf = cands
-	candBufs.Put(buf)
 	return out
 }

@@ -245,6 +245,7 @@ func (e *Engine) searchTopKIncremental(q []traj.Symbol, k int, opts TopKOptions)
 		}
 	}()
 
+	//subtrajlint:hotloop
 	for {
 		// Round boundaries are the coarse cancellation points: a
 		// deadline that fires mid-search skips every remaining τ-growth
@@ -307,6 +308,7 @@ func (e *Engine) topKRoundSequential(ctx context.Context, plan *filter.Plan, tau
 	start := time.Now()
 	buf := getCandBuf()
 	cands := *buf
+	defer func() { *buf = cands; candBufs.Put(buf) }()
 	for s := 0; s < e.idx.NumShards(); s++ {
 		src := e.idx.Source(s)
 		cands = plan.Candidates(src, cands)
@@ -322,8 +324,6 @@ func (e *Engine) topKRoundSequential(ctx context.Context, plan *filter.Plan, tau
 	stats.Candidates += verified
 	stats.CandidatesReused += skipped
 	stats.Verify.Add(ver.SnapshotStats())
-	*buf = cands
-	candBufs.Put(buf)
 	return err
 }
 
@@ -371,6 +371,9 @@ func (e *Engine) topKRunShard(ctx context.Context, q []traj.Symbol, plan *filter
 	buf := getCandBuf()
 	src := e.idx.Source(s)
 	cands := plan.Candidates(src, *buf)
+	// Deferred so a panicking worker (re-raised by fanOutShards) cannot
+	// leak the buffer or the pooled verifier.
+	defer func() { *buf = cands; candBufs.Put(buf) }()
 	index.ReleaseSource(src)
 	filter.GroupByTrajectory(cands)
 	out.lookup = time.Since(start)
@@ -378,12 +381,10 @@ func (e *Engine) topKRunShard(ctx context.Context, q []traj.Symbol, plan *filter
 
 	start = time.Now()
 	ver := verify.Get(e.costs, e.ds, q, tau, verify.Options{})
+	defer verify.Put(ver)
 	out.verified, out.skipped, out.err = verifyTopKGroups(ctx, ver, cands, st, tau)
 	out.vstats = ver.SnapshotStats()
-	verify.Put(ver)
 	out.verify = time.Since(start)
-	*buf = cands
-	candBufs.Put(buf)
 	return out
 }
 
@@ -392,6 +393,7 @@ func (e *Engine) topKRunShard(ctx context.Context, q []traj.Symbol, plan *filter
 // earlier round), every other group is verified under the current
 // tightened bound and its best match offered to the table.
 func verifyTopKGroups(ctx context.Context, ver *verify.Verifier, cands []filter.Candidate, st *topkState, tauRound float64) (verified, skipped int, err error) {
+	//subtrajlint:hotloop
 	for i := 0; i < len(cands); {
 		if err = ctxErr(ctx); err != nil {
 			return verified, skipped, err
@@ -499,6 +501,8 @@ func bestPerTrajectoryOrdered(ms []traj.Match) []traj.Match {
 		}
 	}
 	out := make([]traj.Match, 0, len(best))
+	// subtrajlint:unordered-ok one entry per trajectory ID and topKLess
+	// tiebreaks on ID, so the sort below erases collection order.
 	for _, m := range best {
 		out = append(out, m)
 	}

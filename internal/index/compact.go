@@ -739,6 +739,8 @@ var compactSources = sync.Pool{New: func() any { return new(CompactSource) }}
 
 // AcquireSource checks a pooled cursor out of the pool. Pair with
 // Release (ReleaseSource does so generically for any PostingSource).
+//
+//subtrajlint:pool-transfer
 func (c *Compact) AcquireSource() *CompactSource {
 	s := compactSources.Get().(*CompactSource)
 	s.c = c

@@ -42,6 +42,8 @@ func (o *Overlay) NumShards() int { return 2 }
 
 // Source returns shard 0 (the frozen snapshot) or shard 1 (the tail,
 // rebased to global IDs). Both are pooled cursors: ReleaseSource them.
+//
+//subtrajlint:pool-transfer
 func (o *Overlay) Source(i int) PostingSource {
 	if i == 0 {
 		return o.base.AcquireSource()

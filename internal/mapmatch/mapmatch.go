@@ -180,6 +180,8 @@ func (m *Matcher) MatchTrace(trace []geo.Point) (Result, error) {
 	}
 	begin := time.Now()
 	sc := m.scratch.Get().(*matchScratch)
+	// Deferred so a decoder panic cannot leak the scratch from the pool.
+	defer m.scratch.Put(sc)
 	sc.prepare(m.g.NumVertices())
 
 	var res Result
@@ -189,7 +191,6 @@ func (m *Matcher) MatchTrace(trace []geo.Point) (Result, error) {
 		res.Segments = append(res.Segments, seg)
 		start = next
 	}
-	m.scratch.Put(sc)
 	res.Splits = len(res.Segments) - 1
 	var confSum float64
 	for _, s := range res.Segments {

@@ -32,9 +32,9 @@ import (
 // so call sites need no "is tracing on?" branches.
 type Trace struct {
 	mu    sync.Mutex
-	id    string
-	begin time.Time
-	root  *Span
+	id    string    // immutable after NewTrace
+	begin time.Time // immutable after NewTrace
+	root  *Span     // guarded by mu (the pointer is fixed at construction; the span tree under it is not)
 }
 
 // Span is one timed stage. Fields are managed by the owning Trace; read
@@ -56,6 +56,8 @@ type spanAttr struct {
 }
 
 // NewTrace starts a trace whose root span is named name.
+//
+//subtrajlint:locked mu — t is private until returned
 func NewTrace(id, name string) *Trace {
 	now := time.Now()
 	t := &Trace{id: id, begin: now}
@@ -72,6 +74,8 @@ func (t *Trace) ID() string {
 }
 
 // Root returns the root span (nil on a nil trace).
+//
+//subtrajlint:locked mu — reads only the construction-immutable root pointer
 func (t *Trace) Root() *Span {
 	if t == nil {
 		return nil
@@ -273,9 +277,9 @@ type TraceRecord struct {
 // newest entry overwrites the oldest). Safe for concurrent use.
 type TraceRing struct {
 	mu   sync.Mutex
-	buf  []TraceRecord
-	next int
-	n    int
+	buf  []TraceRecord // guarded by mu (the slice header is fixed at construction; Add's pre-lock length check relies on that)
+	next int           // guarded by mu
+	n    int           // guarded by mu
 }
 
 // NewTraceRing creates a ring holding up to capacity records

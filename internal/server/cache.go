@@ -18,9 +18,9 @@ import (
 // need to synchronously sweep the cache.
 type resultCache struct {
 	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	cap int                      // immutable after newResultCache
+	ll  *list.List               // guarded by mu; front = most recently used
+	m   map[string]*list.Element // guarded by mu
 
 	hits          atomic.Int64
 	misses        atomic.Int64

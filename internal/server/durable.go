@@ -217,7 +217,7 @@ func OpenDurable(dir string, ds *traj.Dataset, costs wed.FilterCosts, opts Durab
 			} else {
 				// Stale arena (crash between snapshot rename and index
 				// rename): ignore it and re-freeze.
-				c.Close()
+				_ = c.Close()
 			}
 		}
 		if eng == nil {
@@ -253,7 +253,7 @@ func OpenDurable(dir string, ds *traj.Dataset, costs wed.FilterCosts, opts Durab
 		return nil, nil, fmt.Errorf("server: wal: %w", err)
 	}
 	if winfo.BaseGen > snapGen {
-		w.Close()
+		_ = w.Close()
 		return nil, nil, fmt.Errorf("server: wal starts at generation %d but the snapshot covers only %d: records in between are lost; delete the durable directory to restart from the base workload",
 			winfo.BaseGen, snapGen)
 	}
@@ -365,14 +365,14 @@ func (d *Durability) writeSnapshot(tail []traj.Trajectory) (int64, error) {
 	for len(tail) > 0 {
 		n := min(snapshotFrameRecords, len(tail))
 		if err := w.Append(tail[:n]); err != nil {
-			w.Close()
+			_ = w.Close()
 			os.Remove(tmp)
 			return 0, err
 		}
 		tail = tail[n:]
 	}
 	if err := w.Sync(); err != nil {
-		w.Close()
+		_ = w.Close()
 		os.Remove(tmp)
 		return 0, err
 	}
@@ -404,12 +404,12 @@ func (d *Durability) writeIndex(c *index.Compact) (int64, error) {
 		bw.Flush()
 	}
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return 0, err
 	}
@@ -435,8 +435,8 @@ func (d *Durability) writeIndex(c *index.Compact) (int64, error) {
 // atomic.
 func syncDir(dir string) {
 	if f, err := os.Open(dir); err == nil {
-		f.Sync()
-		f.Close()
+		_ = f.Sync()
+		_ = f.Close()
 	}
 }
 

@@ -32,6 +32,18 @@ func openDurableTest(t testing.TB, dir string, opts DurableOptions) (*SafeEngine
 // tinyBaseLen is the tiny workload's base trajectory count — the
 // recovery tests compare recovered totals against it because OpenDurable
 // mutates the dataset it is handed.
+// closeDurable closes the engine's durability layer and fails the test on
+// error: a WAL close that cannot flush means the assertions after a
+// reopen would be checking an undefined on-disk state. ErrClosed is
+// tolerated so a deferred safety-net close can follow an explicit,
+// already-checked one.
+func closeDurable(t testing.TB, s *SafeEngine) {
+	t.Helper()
+	if err := s.Durable().Close(); err != nil && !errors.Is(err, os.ErrClosed) {
+		t.Fatal(err)
+	}
+}
+
 func tinyBaseLen() int { return workload.Generate(workload.Tiny(7)).Data.Len() }
 
 func appendPath(t testing.TB, safe *SafeEngine, syms ...traj.Symbol) int32 {
@@ -60,12 +72,10 @@ func TestDurableAppendSurvivesReopen(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := safe.Durable().Close(); err != nil {
-		t.Fatal(err)
-	}
+	closeDurable(t, safe)
 
 	re, info, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer re.Durable().Close()
+	defer closeDurable(t, re)
 	if info.ReplayedRecords != 3 {
 		t.Fatalf("ReplayedRecords = %d, want 3 (%+v)", info.ReplayedRecords, info)
 	}
@@ -97,7 +107,7 @@ func TestDurableTornTailTruncated(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	safe.Durable().Close()
+	closeDurable(t, safe)
 	walPath := filepath.Join(dir, walFile)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
@@ -108,7 +118,7 @@ func TestDurableTornTailTruncated(t *testing.T) {
 	}
 
 	re, info, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer re.Durable().Close()
+	defer closeDurable(t, re)
 	if !info.TailTruncated {
 		t.Fatalf("torn tail not reported: %+v", info)
 	}
@@ -119,9 +129,9 @@ func TestDurableTornTailTruncated(t *testing.T) {
 		t.Fatalf("trajectories = %d, want %d", got, want)
 	}
 	// The tail was physically truncated: a third open sees a clean log.
-	re.Durable().Close()
+	closeDurable(t, re)
 	re2, info2, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer re2.Durable().Close()
+	defer closeDurable(t, re2)
 	if info2.TailTruncated || info2.ReplayedRecords != 2 {
 		t.Fatalf("second reopen not clean: %+v", info2)
 	}
@@ -154,10 +164,10 @@ func TestCheckpointRotatesAndRecovers(t *testing.T) {
 			}
 			post := []traj.Symbol{6, 7, 8, 9}
 			appendPath(t, safe, post...)
-			safe.Durable().Close()
+			closeDurable(t, safe)
 
 			re, info, _ := openDurableTest(t, dir, opts)
-			defer re.Durable().Close()
+			defer closeDurable(t, re)
 			if info.SnapshotRecords != 2 || info.ReplayedRecords != 1 || info.SkippedRecords != 0 {
 				t.Fatalf("recovery info %+v, want snapshot 2 + replayed 1", info)
 			}
@@ -196,13 +206,13 @@ func TestCheckpointCrashWindowIdempotent(t *testing.T) {
 	if _, err := safe.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	safe.Durable().Close()
+	closeDurable(t, safe)
 	if err := os.WriteFile(walPath, preWAL, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
 	re, info, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer re.Durable().Close()
+	defer closeDurable(t, re)
 	if info.SnapshotRecords != 2 || info.SkippedRecords != 2 || info.ReplayedRecords != 0 {
 		t.Fatalf("overlap not skipped: %+v", info)
 	}
@@ -217,7 +227,7 @@ func TestCheckpointCrashWindowIdempotent(t *testing.T) {
 func TestDurableHTTPSurface(t *testing.T) {
 	dir := t.TempDir()
 	safe, _, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer safe.Durable().Close()
+	defer closeDurable(t, safe)
 	srv := New(safe, Config{CacheSize: 16, MaxConcurrent: 4})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -263,7 +273,7 @@ func TestAppendFailsWhenWALBroken(t *testing.T) {
 	defer ts.Close()
 
 	before := safe.NumTrajectories()
-	safe.Durable().Close() // closed WAL: every append must now fail
+	closeDurable(t, safe) // closed WAL: every append must now fail
 	if _, err := safe.Append(traj.Trajectory{Path: []traj.Symbol{1, 2}}); err == nil {
 		t.Fatal("append on closed WAL succeeded")
 	}
@@ -355,7 +365,7 @@ func TestRequestTimeoutMapsTo504(t *testing.T) {
 func TestCheckpointBusySingleFlight(t *testing.T) {
 	dir := t.TempDir()
 	safe, _, _ := openDurableTest(t, dir, DurableOptions{Sync: wal.SyncAlways})
-	defer safe.Durable().Close()
+	defer closeDurable(t, safe)
 	appendPath(t, safe, 1, 2)
 	d := safe.Durable()
 	if !d.ckptInFlight.CompareAndSwap(false, true) {

@@ -29,18 +29,22 @@ import (
 // needing an explicit invalidation channel.
 type SafeEngine struct {
 	mu  sync.RWMutex
-	eng *core.Engine
+	eng *core.Engine // guarded by mu (the pointer itself is fixed at construction)
 	gen atomic.Uint64
 
 	// dur, when non-nil, makes every append write-ahead durable: the
 	// batch is framed into the WAL (and fsynced per policy) before it is
 	// applied to the in-memory engine, so an acknowledged append survives
 	// a crash. Nil = volatile engine, appends behave exactly as before.
+	// Written once by OpenDurable before the engine is shared, then
+	// read-only — so it is deliberately not guarded by mu.
 	dur *Durability
 }
 
 // NewSafeEngine wraps eng. The wrapper must be the only user of eng from
 // then on: bypassing it reintroduces the data race it exists to prevent.
+//
+//subtrajlint:locked mu — s is private to this constructor
 func NewSafeEngine(eng *core.Engine) *SafeEngine {
 	return &SafeEngine{eng: eng}
 }
@@ -48,6 +52,8 @@ func NewSafeEngine(eng *core.Engine) *SafeEngine {
 // Unsafe returns the wrapped engine for single-threaded phases (bulk
 // loading before serving starts). Callers must not use it concurrently
 // with the wrapper's own methods.
+//
+//subtrajlint:locked mu — reads only the construction-immutable pointer; the caller contract above carries the burden
 func (s *SafeEngine) Unsafe() *core.Engine { return s.eng }
 
 // Generation returns the number of Appends applied so far. Two calls
@@ -106,9 +112,13 @@ func (s *SafeEngine) NumTrajectories() int {
 }
 
 // Costs returns the engine's cost model (immutable after construction).
+//
+//subtrajlint:locked mu — the cost model is construction-immutable engine state
 func (s *SafeEngine) Costs() wed.FilterCosts { return s.eng.Costs() }
 
 // Threshold converts a τ_ratio into an absolute τ for query q.
+//
+//subtrajlint:locked mu — touches only the construction-immutable cost model
 func (s *SafeEngine) Threshold(q []traj.Symbol, ratio float64) float64 {
 	return ratio * core.SumFilterCost(s.eng.Costs(), q)
 }
@@ -187,6 +197,8 @@ func (s *SafeEngine) SearchTopKStats(q []traj.Symbol, k int, opts core.TopKOptio
 
 // NumShards returns the engine's index partition count — the ceiling on
 // any single query's parallelism.
+//
+//subtrajlint:locked mu — the shard layout is fixed at construction
 func (s *SafeEngine) NumShards() int { return s.eng.NumShards() }
 
 // IndexBytes returns the index backend's memory footprint under the read
@@ -199,6 +211,8 @@ func (s *SafeEngine) IndexBytes() int64 {
 
 // IndexKind names the index backend family ("pointer" or "compact");
 // fixed at construction, so no lock is needed.
+//
+//subtrajlint:locked mu — fixed at construction
 func (s *SafeEngine) IndexKind() string { return s.eng.IndexKind() }
 
 // TemporalReady reports whether the departure-sorted temporal postings
@@ -214,6 +228,8 @@ func (s *SafeEngine) TemporalReady() bool {
 // EffectiveParallelism resolves a parallelism setting exactly as the
 // engine will (0 = auto; clamped to the shard count). Both are fixed at
 // construction, so no lock is needed.
+//
+//subtrajlint:locked mu — auto-parallelism and shard count are fixed at construction
 func (s *SafeEngine) EffectiveParallelism(p int) int { return s.eng.EffectiveParallelism(p) }
 
 // SearchExact answers the exact path query under the read lock.

@@ -224,6 +224,8 @@ func PoolStats() (gets, news int64) {
 
 // Get returns a pooled verifier reset for the given query. Pair with Put
 // once Results has been read; the verifier must not be used after Put.
+//
+//subtrajlint:pool-transfer
 func Get(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau float64, opts Options) *Verifier {
 	poolGets.Add(1)
 	v := pool.Get().(*Verifier)
@@ -263,6 +265,8 @@ const (
 // outlier query cannot pin its peak footprint in the pool.
 func Put(v *Verifier) {
 	v.costs, v.ds, v.q = nil, nil, nil
+	// subtrajlint:unordered-ok retired tries are fully reset before
+	// reuse, so free-list order cannot reach any computed value.
 	for iq, tr := range v.tries {
 		v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
 		delete(v.tries, iq)
@@ -313,6 +317,8 @@ func (v *Verifier) Reset(costs wed.Costs, ds *traj.Dataset, q []traj.Symbol, tau
 	if v.tries == nil {
 		v.tries = make(map[int32]dirTries)
 	} else {
+		// subtrajlint:unordered-ok retired tries are fully reset before
+		// reuse, so free-list order cannot reach any computed value.
 		for iq, tr := range v.tries {
 			v.trieFree = append(v.trieFree, tr.fwd, tr.bwd)
 			delete(v.tries, iq)
@@ -446,6 +452,7 @@ func (v *Verifier) TakeBest() (traj.Match, bool) {
 // TakeBest and never call Results read their per-round stats here.
 func (v *Verifier) SnapshotStats() Stats {
 	s := v.Stats
+	// subtrajlint:unordered-ok order-independent sum.
 	for _, tr := range v.tries {
 		s.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
 	}
@@ -572,6 +579,7 @@ func (v *Verifier) verifySW(id int32, tauEff float64) {
 // callers that interleaved trajectories.
 func (v *Verifier) Results() []traj.Match {
 	v.flush()
+	// subtrajlint:unordered-ok order-independent sum.
 	for _, tr := range v.tries {
 		v.Stats.TrieNodes += tr.fwd.numNodes() + tr.bwd.numNodes()
 	}

@@ -158,17 +158,17 @@ type Stats struct {
 // more writes on top of it could reorder or alias generations.
 type Writer struct {
 	mu       sync.Mutex
-	f        File
-	baseGen  uint64
-	gen      uint64
-	off      int64
-	records  int64
-	syncs    int64
-	dirty    bool // frames written since the last fsync
-	lastSync time.Time
-	broken   error
-	opts     Options
-	buf      []byte // frame assembly buffer, reused across Appends
+	f        File      // guarded by mu (the handle is fixed; its write offset is not)
+	baseGen  uint64    // guarded by mu (rewritten by Rotate)
+	gen      uint64    // guarded by mu
+	off      int64     // guarded by mu
+	records  int64     // guarded by mu
+	syncs    int64     // guarded by mu
+	dirty    bool      // guarded by mu; frames written since the last fsync
+	lastSync time.Time // guarded by mu
+	broken   error     // guarded by mu
+	opts     Options   // immutable after construction
+	buf      []byte    // guarded by mu; frame assembly buffer, reused across Appends
 }
 
 // Create creates (or truncates) a log at path whose records continue from
@@ -180,7 +180,7 @@ func Create(path string, baseGen uint64, opts Options) (*Writer, error) {
 	}
 	w, err := NewWriter(f, baseGen, opts)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(path)
 		return nil, err
 	}
@@ -189,6 +189,8 @@ func Create(path string, baseGen uint64, opts Options) (*Writer, error) {
 
 // NewWriter starts a fresh log on f (assumed empty), writing and fsyncing
 // the header. It is the injection point for fault-model Files in tests.
+//
+//subtrajlint:locked mu — w is private to this constructor; nothing else can see it yet
 func NewWriter(f File, baseGen uint64, opts Options) (*Writer, error) {
 	w := &Writer{f: f, baseGen: baseGen, gen: baseGen, opts: opts, lastSync: time.Now()}
 	hdr := make([]byte, headerSize)
@@ -297,6 +299,8 @@ func (w *Writer) Append(ts []traj.Trajectory) error {
 
 // rollback restores the file to the last committed offset after a failed
 // write; if the filesystem refuses even that, the writer is broken.
+//
+//subtrajlint:locked mu — called only from Append and Rotate with w.mu held
 func (w *Writer) rollback(cause error) {
 	if err := w.f.Truncate(w.off); err != nil {
 		w.broken = cause
@@ -312,6 +316,8 @@ func (w *Writer) rollback(cause error) {
 // a zero-filled gap that replay reads as a torn frame — so files that
 // can seek must. In-memory doubles that append at their own length are
 // already positioned correctly.
+//
+//subtrajlint:locked mu — called with w.mu held
 func (w *Writer) seekTo(off int64) error {
 	if sk, ok := w.f.(io.Seeker); ok {
 		_, err := sk.Seek(off, io.SeekStart)
@@ -321,6 +327,8 @@ func (w *Writer) seekTo(off int64) error {
 }
 
 // fsync flushes to stable storage, timing the call. Callers hold w.mu.
+//
+//subtrajlint:locked mu — callers hold w.mu
 func (w *Writer) fsync() error {
 	start := time.Now()
 	err := w.f.Sync()
@@ -614,16 +622,16 @@ func OpenOrCreate(path string, baseGen uint64, opts Options, apply func(Record) 
 	}
 	if info.GoodBytes < info.FileBytes {
 		if err := f.Truncate(info.GoodBytes); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, info, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, info, fmt.Errorf("wal: sync after truncate: %w", err)
 		}
 	}
 	if _, err := f.Seek(info.GoodBytes, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, info, fmt.Errorf("wal: seek: %w", err)
 	}
 	return resume(f, info.BaseGen, info.EndGen, info.GoodBytes, info.Records, opts), info, nil

@@ -425,7 +425,9 @@ func TestOpenOrCreateLifecycle(t *testing.T) {
 	if err := w.Append([]traj.Trajectory{tr(77)}); err != nil {
 		t.Fatal(err)
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	replayed = replayed[:0]
 	_, info, err = OpenOrCreate(path, 3, Options{Policy: SyncAlways}, func(r Record) error {
@@ -453,7 +455,9 @@ func TestOpenOrCreateTornHeader(t *testing.T) {
 	if info.BaseGen != 9 {
 		t.Fatalf("recreated baseGen = %d", info.BaseGen)
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Garbage that is not a header prefix must fail loudly instead.
 	if err := os.WriteFile(path, []byte("GARBAGE-NOT-A-WAL"), 0o644); err != nil {
