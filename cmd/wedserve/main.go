@@ -10,7 +10,7 @@
 //	         [-shards 0] [-index pointer|compact] [-index-file idx.sbtj]
 //	         [-wal-dir state/] [-wal-sync always|interval|never]
 //	         [-wal-sync-interval 100ms] [-checkpoint-bytes 67108864]
-//	         [-request-timeout 0] [-queue-wait 1s]
+//	         [-compact-appends 4096] [-request-timeout 0] [-queue-wait 1s]
 //	         [-max-parallelism 0] [-gps-sigma 20] [-gps-beta 50]
 //	         [-slow-query 250ms] [-trace-buffer 64] [-no-metrics]
 //	         [-debug-addr localhost:6060]
@@ -49,6 +49,11 @@
 // triggering background checkpoints; POST /v1/checkpoint forces one.
 // The base workload (-dataset/-load/-scale/-model) must match across
 // restarts: the durable directory persists only appended trajectories.
+//
+// Ingest under load: searches run lock-free against immutable epoch
+// snapshots while appends publish new ones; -compact-appends bounds the
+// per-publish delta by folding it into the frozen base in the
+// background (see DESIGN.md §1.11).
 package main
 
 import (
@@ -88,6 +93,7 @@ func main() {
 		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per append) | interval | never")
 		walInterval = flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush period for -wal-sync interval")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint automatically when the WAL passes this size (0 = only on POST /v1/checkpoint)")
+		compactApps = flag.Int("compact-appends", 4096, "fold the append delta into the frozen base after this many unfolded appends (0 = never compact automatically)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline; exceeded queries return 504 (0 disables)")
 		queueWait   = flag.Duration("queue-wait", time.Second, "max wait for a worker slot before shedding the request with 503 (0 = wait for the request deadline)")
 		maxPar      = flag.Int("max-parallelism", 0, "cap shard workers per query (0 = min(shards, GOMAXPROCS); 1 = sequential)")
@@ -182,6 +188,22 @@ func main() {
 		log.Printf("  engine (%s, %s index, %d shards, %s) built in %s",
 			*model, eng.IndexKind(), eng.NumShards(), byteSize(eng.IndexBytes()), time.Since(start).Round(time.Millisecond))
 		inner = subtraj.NewSafeEngine(eng).Inner()
+	}
+	inner.SetCompactAppends(*compactApps)
+
+	// Crash-point hook for the fault-injection tests: when the named
+	// point of the write path is reached, die as hard as SIGKILL — no
+	// flush, no deferred cleanup — so recovery is exercised against the
+	// worst window (e.g. between a compaction fold and its publish).
+	if cp := os.Getenv("SUBTRAJ_CRASH_POINT"); cp != "" {
+		server.SetCrashHook(func(point string) {
+			if point == cp {
+				p, _ := os.FindProcess(os.Getpid())
+				p.Kill()
+				select {} // unreachable once the signal lands
+			}
+		})
+		log.Printf("  crash point armed: %s", cp)
 	}
 
 	// The alphabet bound keeps out-of-range symbols in request JSON from

@@ -69,15 +69,28 @@ func freePort(t *testing.T) int {
 // startChild launches wedserve against the given durable dir and waits
 // until /healthz answers. The returned cleanup reaps the process.
 func startChild(t *testing.T, walDir string, port int) (*exec.Cmd, string) {
+	return startChildOpts(t, walDir, port, nil)
+}
+
+// startChildOpts is startChild with extra environment entries (appended
+// to the test process's own) and extra command-line flags — the
+// fault-injection tests use them to arm crash points and shrink the
+// compaction threshold.
+func startChildOpts(t *testing.T, walDir string, port int, env []string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
 	bin := binaryPath(t)
 	addr := fmt.Sprintf("127.0.0.1:%d", port)
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr,
 		"-dataset", "tiny", "-scale", "1", "-model", "EDR",
 		"-wal-dir", walDir, "-wal-sync", "always", "-checkpoint-bytes", "0",
 		"-gps-sigma", "0",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	var logBuf bytes.Buffer
 	cmd.Stdout = &logBuf
 	cmd.Stderr = &logBuf
@@ -380,6 +393,133 @@ func TestCrashRecovery(t *testing.T) {
 	child2.Process.Signal(os.Interrupt)
 	if err := child2.Wait(); err != nil {
 		t.Fatalf("graceful shutdown after recovery: %v", err)
+	}
+}
+
+// TestCompactionCrashRecovery SIGKILLs wedserve between a compaction
+// fold and its publish — the adversarial window the epoch design opens:
+// the new base is fully built but the snapshot swap never happens. The
+// WAL is the only authority over appended data, so recovery must replay
+// the whole acknowledged delta exactly once — no lost appends, no
+// duplicates — and a restarted server must fold successfully where the
+// crashed one died.
+func TestCompactionCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	walDir := t.TempDir()
+	port := freePort(t)
+	// Arm the crash point and make the background fold trigger after 8
+	// unfolded appends, so the 8th acknowledged append detonates it.
+	child, base := startChildOpts(t, walDir, port,
+		[]string{"SUBTRAJ_CRASH_POINT=compact-fold"}, "-compact-appends", "8")
+
+	baseW := subtraj.Generate(subtraj.TinyWorkload(42))
+	baseLen := baseW.Data.Len()
+	payloads := ingestPayloads(baseW, 200)
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	var sent, acked int
+	for _, tr := range payloads {
+		sent++
+		if err := postAppend(client, base, tr); err != nil {
+			break // the armed crash point fired
+		}
+		acked++
+	}
+	child.Wait()
+	if sent == len(payloads) {
+		t.Fatalf("all %d appends succeeded: the compact-fold crash point never fired", sent)
+	}
+	if acked < 7 {
+		t.Fatalf("crashed before the compaction threshold: acked=%d", acked)
+	}
+	t.Logf("compaction crash window: %d acked, %d sent", acked, sent)
+
+	// In-process recovery from a copy: every acknowledged append must
+	// come back exactly once, bit-for-bit, in append order — the fold
+	// that died was pure index work, so no trajectory may be missing
+	// (lost on fold) or doubled (replayed on top of a folded base).
+	recDir := copyDurableDir(t, walDir)
+	recW := subtraj.Generate(subtraj.TinyWorkload(42))
+	netw := subtraj.NewNetwork(recW.Graph)
+	inner, rec, err := server.OpenDurable(recDir, recW.Data, netw.EDR(100), server.DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := int(rec.SnapshotRecords + rec.ReplayedRecords)
+	if recovered < acked || recovered > sent {
+		t.Fatalf("recovered %d records, want [%d, %d]", recovered, acked, sent)
+	}
+	if got := recW.Data.Len() - baseLen; got != recovered {
+		t.Fatalf("dataset holds %d appended records, recovery reports %d", got, recovered)
+	}
+	for i, tr := range recW.Data.Trajs[baseLen:] {
+		if !sameTrajectory(subtraj.Trajectory(tr), payloads[i]) {
+			t.Fatalf("recovered record %d differs from the sent payload (duplicate or reorder)", i)
+		}
+	}
+	// The recovered engine must fold the replayed delta cleanly.
+	if _, err := inner.Compact(); err != nil {
+		t.Fatalf("compact after recovery: %v", err)
+	}
+	if inner.DeltaLen() != 0 || inner.FoldedLen() != baseLen+recovered {
+		t.Fatalf("post-recovery fold: delta=%d folded=%d, want 0/%d",
+			inner.DeltaLen(), inner.FoldedLen(), baseLen+recovered)
+	}
+	if err := inner.Durable().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the real binary on the surviving dir WITHOUT the crash
+	// point: it must recover the same generation and survive crossing
+	// the compaction threshold it died on.
+	port2 := freePort(t)
+	child2, base2 := startChildOpts(t, walDir, port2, nil, "-compact-appends", "8")
+	h := getHealthz(t, base2)
+	if int(h.DurableGeneration) != recovered || h.Trajectories != baseLen+recovered {
+		t.Fatalf("restart: generation=%d trajectories=%d, want %d/%d",
+			h.DurableGeneration, h.Trajectories, recovered, baseLen+recovered)
+	}
+	for i := 0; i < 10; i++ {
+		if err := postAppend(client, base2, payloads[recovered+i]); err != nil {
+			t.Fatalf("append %d after restart: %v", i, err)
+		}
+	}
+	// The appends crossed the threshold: a background fold must complete
+	// and absorb the delta.
+	var st struct {
+		Ingest struct {
+			Compactions int64 `json:"compactions"`
+			Delta       int   `json:"delta_trajectories"`
+			Folded      int   `json:"folded_trajectories"`
+		} `json:"ingest"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base2 + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ingest.Compactions >= 1 && st.Ingest.Delta < 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background fold never completed after restart: %+v", st.Ingest)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h2 := getHealthz(t, base2); h2.Trajectories != baseLen+recovered+10 {
+		t.Fatalf("after restart appends: %d trajectories, want %d", h2.Trajectories, baseLen+recovered+10)
+	}
+	child2.Process.Signal(os.Interrupt)
+	if err := child2.Wait(); err != nil {
+		t.Fatalf("graceful shutdown after compaction recovery: %v", err)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"subtraj/internal/filter"
@@ -32,7 +33,11 @@ import (
 //   - A TemporalDeparture query with the pre-filter enabled lazily builds
 //     the departure-sorted postings on first use (a hidden write under a
 //     read path). Call PrepareTemporal before going concurrent, or
-//     serialize such queries until TemporalReady reports true.
+//     serialize such queries until TemporalReady reports true. Once the
+//     backend's order IS built, re-running the build is a read-only
+//     no-op (every backend skips already-sorted partitions), and the
+//     staleness flag itself is atomic — so concurrent TemporalDeparture
+//     queries against an already-prepared engine are plain reads.
 //
 // Cost models are a third mutation surface: MemoNetDist (used by NetEDR /
 // NetERP) caches distances internally and synchronizes itself, but
@@ -47,7 +52,12 @@ type Engine struct {
 	// BuildTime records index construction time (Table 6).
 	BuildTime time.Duration
 
-	temporalBuilt bool
+	// temporalBuilt tracks whether the backend's departure-sorted order
+	// is current. Atomic so that concurrent queries against an engine
+	// whose order is already built (the epoch-snapshot server publishes
+	// only such engines) may race on the flag without a data race; the
+	// build itself still needs external serialization the first time.
+	temporalBuilt atomic.Bool
 }
 
 // NewEngine indexes the dataset into index.DefaultShards() partitions.
@@ -92,17 +102,6 @@ func NewEngineWithBackend(ds *traj.Dataset, idx index.Backend, costs wed.FilterC
 // Dataset returns the indexed dataset.
 func (e *Engine) Dataset() *traj.Dataset { return e.ds }
 
-// ReplaceBackend swaps the index backend in place — the checkpoint path
-// re-freezes the dataset into a fresh compact arena and installs it here
-// so the write-ahead log can be truncated. The new backend must describe
-// exactly ds's trajectories, and the caller must serialize the swap with
-// every concurrent query (the server does so under its write lock). The
-// temporal postings are invalidated: the fresh backend has not built them.
-func (e *Engine) ReplaceBackend(idx index.Backend) {
-	e.idx = idx
-	e.temporalBuilt = false
-}
-
 // Backend returns the index backend.
 func (e *Engine) Backend() index.Backend { return e.idx }
 
@@ -124,16 +123,16 @@ func (e *Engine) Costs() wed.FilterCosts { return e.costs }
 func (e *Engine) Append(t traj.Trajectory) int32 {
 	id := e.ds.Add(t)
 	e.idx.Append(id, e.ds.Get(id))
-	e.temporalBuilt = false // departure-sorted postings are stale
+	e.temporalBuilt.Store(false) // departure-sorted postings are stale
 	return id
 }
 
 // ensureTemporalIndex builds the departure-sorted postings on first use
 // (and after appends invalidate them).
 func (e *Engine) ensureTemporalIndex() {
-	if !e.temporalBuilt {
+	if !e.temporalBuilt.Load() {
 		e.idx.BuildTemporal()
-		e.temporalBuilt = true
+		e.temporalBuilt.Store(true)
 	}
 }
 
@@ -146,7 +145,7 @@ func (e *Engine) PrepareTemporal() { e.ensureTemporalIndex() }
 // TemporalReady reports whether the departure-sorted postings are current
 // (built and not invalidated by a later Append). While it is true,
 // TemporalDeparture queries are read-only like every other query.
-func (e *Engine) TemporalReady() bool { return e.temporalBuilt }
+func (e *Engine) TemporalReady() bool { return e.temporalBuilt.Load() }
 
 // QueryStats instruments one query with the Table 4 breakdown and the
 // filtering/verification metrics of §6.4. Under a parallel query the

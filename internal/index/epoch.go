@@ -1,0 +1,166 @@
+package index
+
+import (
+	"sync"
+
+	"subtraj/internal/traj"
+)
+
+// Epoch is the merged read view published by the epoch-snapshot ingest
+// design (DESIGN.md §1.11): a frozen base backend — a Sharded index or a
+// Compact+Overlay — plus a small DeltaView covering the trajectories
+// appended since the base was folded. Both halves are immutable from the
+// reader's side, which is what lets searches run against an Epoch with
+// no lock at all: the writer takes a fresh view for every publish and
+// swaps the state in behind an atomic pointer.
+//
+// The ID split mirrors Overlay: base IDs are [0, deltaBase), delta IDs
+// [deltaBase, ∞). The delta already carries global IDs, so the delta
+// shard's plain postings are served as bounded sub-slices with no copy
+// and no rebase. Searches fan out over the base's shards plus one extra
+// delta shard, and the usual deterministic shard merge makes results
+// bit-equal to a flat index over the union — TestSnapshotEquivalence
+// holds every published view to that standard against a freshly built
+// oracle.
+type Epoch struct {
+	base      Backend
+	delta     *DeltaView
+	deltaBase int32
+}
+
+// BuildDelta indexes ds.Trajs[start:] into a fresh DeltaMap and returns
+// its view — the one-shot construction used by tests and recovery; the
+// live ingest path maintains a DeltaMap incrementally and takes O(1)
+// views instead.
+func BuildDelta(ds *traj.Dataset, start int) *DeltaView {
+	m := NewDeltaMap(start)
+	for id := start; id < ds.Len(); id++ {
+		m.Append(int32(id), ds.Get(int32(id)))
+	}
+	return m.View()
+}
+
+// NewEpoch merges a frozen base with a delta view whose first global ID
+// is base.NumTrajectories(). Nothing is built here: the delta needs no
+// temporal order (windows are answered by a bounded filtered scan), so
+// publication leaves no lazy writes behind for readers to trip over.
+func NewEpoch(base Backend, delta *DeltaView) *Epoch {
+	return &Epoch{base: base, delta: delta, deltaBase: delta.Lo()}
+}
+
+// DeltaLen returns how many trajectories the delta covers.
+func (e *Epoch) DeltaLen() int { return e.delta.Len() }
+
+// Base exposes the frozen base backend (for compaction and stats).
+func (e *Epoch) Base() Backend { return e.base }
+
+// NumShards: the base's shards plus one delta shard.
+func (e *Epoch) NumShards() int { return e.base.NumShards() + 1 }
+
+// Source returns one of the base's shard cursors, or — for the last
+// index — a pooled cursor over the delta.
+//
+//subtrajlint:pool-transfer
+func (e *Epoch) Source(i int) PostingSource {
+	if i < e.base.NumShards() {
+		return e.base.Source(i)
+	}
+	s := epochDeltaSources.Get().(*epochDeltaSource)
+	s.e = e
+	return s
+}
+
+// Freq returns the global n(q): base count plus delta count.
+func (e *Epoch) Freq(q traj.Symbol) int { return e.base.Freq(q) + e.delta.Freq(q) }
+
+// Append panics: an Epoch is an immutable published snapshot. Appends go
+// to the writer's master dataset and delta map, and the next publish
+// takes a new view covering them.
+func (e *Epoch) Append(id int32, t *traj.Trajectory) {
+	panic("index: append to a published epoch snapshot")
+}
+
+// BuildTemporal delegates to the base (a no-op once the base's order is
+// built); the delta answers windows by filtered scan and needs nothing.
+func (e *Epoch) BuildTemporal() { e.base.BuildTemporal() }
+
+// Interval returns trajectory id's [departure, arrival] span.
+func (e *Epoch) Interval(id int32) (lo, hi float64) {
+	if id < e.deltaBase {
+		return e.base.Interval(id)
+	}
+	return e.delta.Interval(id)
+}
+
+// IntervalOverlaps reports whether id's interval intersects [lo, hi].
+func (e *Epoch) IntervalOverlaps(id int32, lo, hi float64) bool {
+	if id < e.deltaBase {
+		return e.base.IntervalOverlaps(id, lo, hi)
+	}
+	return e.delta.IntervalOverlaps(id, lo, hi)
+}
+
+// NumPostings returns the total posting count across base and delta.
+func (e *Epoch) NumPostings() int { return e.base.NumPostings() + e.delta.NumPostings() }
+
+// NumSymbols counts distinct symbols across base and delta.
+func (e *Epoch) NumSymbols() int {
+	n := e.base.NumSymbols()
+	e.delta.rangeSymbols(func(sym traj.Symbol) {
+		if e.base.Freq(sym) == 0 {
+			n++
+		}
+	})
+	return n
+}
+
+// NumTrajectories returns the combined trajectory count.
+func (e *Epoch) NumTrajectories() int { return int(e.deltaBase) + e.delta.Len() }
+
+// IndexBytes: base footprint plus the (estimated) delta heap.
+func (e *Epoch) IndexBytes() int64 { return e.base.IndexBytes() + e.delta.IndexBytes() }
+
+// Kind names the backend family of the base — the delta is an
+// implementation detail of ingestion, not a different index family.
+func (e *Epoch) Kind() string { return e.base.Kind() }
+
+// epochDeltaSource is the pooled cursor over the delta shard. Plain
+// postings are bounded sub-slices of the delta's global-ID lists (no
+// copy); window lookups filter into pooled scratch. Interval checks
+// take global IDs and dispatch through the Epoch.
+type epochDeltaSource struct {
+	e       *Epoch
+	scratch []Posting
+}
+
+var epochDeltaSources = sync.Pool{New: func() any { return new(epochDeltaSource) }}
+
+func (s *epochDeltaSource) Release() {
+	s.e = nil
+	if cap(s.scratch) > maxRetainedPostings {
+		s.scratch = nil
+	}
+	epochDeltaSources.Put(s)
+}
+
+// Postings returns the delta's L_q under global IDs. Shared; do not
+// modify.
+func (s *epochDeltaSource) Postings(q traj.Symbol) []Posting {
+	return s.e.delta.postings(q)
+}
+
+// PostingsInWindow returns the delta's postings of q departing in
+// [lo, hi]. Valid until the next call on this source; do not modify.
+func (s *epochDeltaSource) PostingsInWindow(q traj.Symbol, lo, hi float64) []Posting {
+	s.scratch = s.e.delta.appendWindow(q, lo, hi, s.scratch[:0])
+	return s.scratch
+}
+
+// IntervalOverlaps reports whether (global) trajectory id's interval
+// intersects [lo, hi].
+func (s *epochDeltaSource) IntervalOverlaps(id int32, lo, hi float64) bool {
+	return s.e.IntervalOverlaps(id, lo, hi)
+}
+
+var _ Backend = (*Epoch)(nil)
+var _ PostingSource = (*epochDeltaSource)(nil)

@@ -1,0 +1,145 @@
+package index_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"subtraj/internal/index"
+	"subtraj/internal/traj"
+)
+
+// TestEpochEquivalentToFlat is the index-layer contract of the epoch
+// merge view: a frozen sharded base over a dataset prefix plus a
+// BuildDelta over the remainder must answer every read — counts,
+// frequencies, intervals, per-shard postings, temporal windows — exactly
+// like one flat index over the whole dataset, with delta postings
+// rebased into the global ID space.
+func TestEpochEquivalentToFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const alpha, numTraj, foldAt = 40, 300, 230
+	ds := randTemporalDataset(rng, alpha, numTraj, 30)
+
+	base := index.BuildSharded(ds.Slice(foldAt), 3)
+	base.BuildTemporal()
+	e := index.NewEpoch(base, index.BuildDelta(ds, foldAt))
+	e.BuildTemporal()
+
+	want := index.Build(ds)
+	want.BuildTemporal()
+
+	if e.NumTrajectories() != ds.Len() || e.DeltaLen() != ds.Len()-foldAt {
+		t.Fatalf("epoch covers %d trajectories (delta %d), want %d (%d)",
+			e.NumTrajectories(), e.DeltaLen(), ds.Len(), ds.Len()-foldAt)
+	}
+	if e.NumShards() != base.NumShards()+1 {
+		t.Fatalf("NumShards = %d, want base+1 = %d", e.NumShards(), base.NumShards()+1)
+	}
+	if e.Kind() != base.Kind() {
+		t.Fatalf("Kind = %q, want the base's %q", e.Kind(), base.Kind())
+	}
+	if e.NumPostings() != want.NumPostings() || e.NumSymbols() != want.NumSymbols() {
+		t.Fatalf("epoch counts (%d postings, %d syms), want (%d, %d)",
+			e.NumPostings(), e.NumSymbols(), want.NumPostings(), want.NumSymbols())
+	}
+	for id := int32(0); id < int32(ds.Len()); id++ {
+		glo, ghi := e.Interval(id)
+		wlo, whi := want.Interval(id)
+		if glo != wlo || ghi != whi {
+			t.Fatalf("Interval(%d) = (%g, %g), want (%g, %g)", id, glo, ghi, wlo, whi)
+		}
+		if e.IntervalOverlaps(id, 10, 40) != want.IntervalOverlaps(id, 10, 40) {
+			t.Fatalf("IntervalOverlaps(%d, 10, 40) disagrees with the flat index", id)
+		}
+	}
+	for sym := traj.Symbol(0); sym < alpha; sym++ {
+		if got := e.Freq(sym); got != want.Freq(sym) {
+			t.Fatalf("Freq(%d) = %d, want %d", sym, got, want.Freq(sym))
+		}
+		// Shard postings must partition the flat list: base shards own
+		// IDs < foldAt by residue class, the extra delta shard owns
+		// exactly the rebased tail, and nothing is doubled or dropped.
+		wantSet := map[index.Posting]bool{}
+		for _, p := range want.Postings(sym) {
+			wantSet[p] = true
+		}
+		gotN := 0
+		for s := 0; s < e.NumShards(); s++ {
+			src := e.Source(s)
+			for _, p := range collect(src.Postings(sym)) {
+				if !wantSet[p] {
+					t.Fatalf("shard %d posting %+v of sym %d not in the flat index", s, p, sym)
+				}
+				if delta := s == e.NumShards()-1; delta != (p.ID >= foldAt) {
+					t.Fatalf("posting %+v of sym %d in shard %d is on the wrong side of the fold", p, sym, s)
+				}
+				gotN++
+			}
+			index.ReleaseSource(src)
+		}
+		if gotN != len(wantSet) {
+			t.Fatalf("shards expose %d postings of sym %d, flat index has %d", gotN, sym, len(wantSet))
+		}
+		// Windowed reads: the delta shard scan-filters by departure while
+		// base shards binary-search their temporal order, so orders
+		// differ; compare as sets against the flat temporal index.
+		wantWin := map[index.Posting]bool{}
+		for _, p := range want.PostingsInWindow(sym, 10, 40) {
+			wantWin[p] = true
+		}
+		gotN = 0
+		for s := 0; s < e.NumShards(); s++ {
+			src := e.Source(s)
+			for _, p := range src.PostingsInWindow(sym, 10, 40) {
+				if !wantWin[p] {
+					t.Fatalf("window posting %+v of sym %d not in the flat result", p, sym)
+				}
+				gotN++
+			}
+			index.ReleaseSource(src)
+		}
+		if gotN != len(wantWin) {
+			t.Fatalf("window for sym %d has %d postings, want %d", sym, gotN, len(wantWin))
+		}
+	}
+}
+
+// TestEpochEmptyDelta pins the degenerate fold boundary: a delta built
+// at the dataset's end covers nothing and the view collapses to the
+// base (the server skips the Epoch wrapper in this case, but the
+// wrapper must still be correct — compaction races publish through it).
+func TestEpochEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := randTemporalDataset(rng, 20, 50, 15)
+	base := index.BuildSharded(ds, 2)
+	base.BuildTemporal()
+	e := index.NewEpoch(base, index.BuildDelta(ds, ds.Len()))
+	if e.DeltaLen() != 0 {
+		t.Fatalf("DeltaLen = %d, want 0", e.DeltaLen())
+	}
+	if e.NumTrajectories() != ds.Len() || e.NumPostings() != base.NumPostings() {
+		t.Fatalf("empty-delta epoch (%d trajs, %d postings) diverges from base (%d, %d)",
+			e.NumTrajectories(), e.NumPostings(), ds.Len(), base.NumPostings())
+	}
+	src := e.Source(e.NumShards() - 1)
+	defer index.ReleaseSource(src)
+	if ps := src.Postings(5); len(ps) != 0 {
+		t.Fatalf("empty delta shard returned %d postings", len(ps))
+	}
+}
+
+// TestEpochAppendPanics: a published snapshot is immutable — an append
+// reaching it is a bug in the writer, and must fail loudly, not corrupt
+// a view a concurrent search is reading.
+func TestEpochAppendPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randTemporalDataset(rng, 20, 30, 10)
+	base := index.BuildSharded(ds.Slice(20), 2)
+	e := index.NewEpoch(base, index.BuildDelta(ds, 20))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on a published Epoch did not panic")
+		}
+	}()
+	tr := ds.Get(0)
+	e.Append(int32(ds.Len()), tr)
+}

@@ -280,13 +280,18 @@ type CheckpointResult struct {
 	// SnapshotBytes / IndexBytes are the persisted file sizes.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
 	IndexBytes    int64 `json:"index_bytes,omitempty"`
-	// DurationMS is the wall time holding the engine write lock.
+	// DurationMS is the wall time holding the ingest mutex.
 	DurationMS float64 `json:"duration_ms"`
 }
 
 // Checkpoint persists the appended tail and truncates the WAL, all under
-// the engine's write lock (a stop-the-world pause for queries and
-// appends). The order makes every crash window recoverable:
+// the ingest mutex — appends stall for the duration, but searches keep
+// answering from the published snapshot (the epoch design turned the old
+// stop-the-world pause into a writer-only one). Holding the ingest mutex
+// is what makes the checkpoint barrier exact: the WAL generation and the
+// appended tail cannot move while the snapshot is cut, so the durable
+// barrier and the publish barrier are the same generation discipline.
+// The order makes every crash window recoverable:
 //
 //  1. snapshot.traj is written to a tmp file and renamed — a crash
 //     before the rename leaves the old snapshot + full WAL; after it,
@@ -310,9 +315,9 @@ func (s *SafeEngine) Checkpoint() (*CheckpointResult, error) {
 	}
 	defer d.ckptInFlight.Store(false)
 	start := time.Now()
-	s.mu.Lock()
-	res, err := d.checkpointLocked(s.eng)
-	s.mu.Unlock()
+	s.ingestMu.Lock()
+	res, err := d.checkpointLocked(s)
+	s.ingestMu.Unlock()
 	if err != nil {
 		d.ckptErrs.Add(1)
 		return nil, err
@@ -323,13 +328,14 @@ func (s *SafeEngine) Checkpoint() (*CheckpointResult, error) {
 	return res, nil
 }
 
-func (d *Durability) checkpointLocked(eng *core.Engine) (*CheckpointResult, error) {
+//subtrajlint:locked ingestMu — Checkpoint holds the ingest mutex around this call
+func (d *Durability) checkpointLocked(s *SafeEngine) (*CheckpointResult, error) {
 	barrier := d.log.Gen()
-	ds := eng.Dataset()
+	ds := s.ds
 	tail := ds.Trajs[d.baseLen:]
 	if uint64(len(tail)) != barrier {
 		// Logged and applied counts must agree — both happen under the
-		// same write lock. A mismatch means the invariant is broken;
+		// same ingest mutex. A mismatch means the invariant is broken;
 		// refuse to write a snapshot that would misnumber generations.
 		return nil, fmt.Errorf("server: checkpoint barrier %d != appended tail %d", barrier, len(tail))
 	}
@@ -345,7 +351,16 @@ func (d *Durability) checkpointLocked(eng *core.Engine) (*CheckpointResult, erro
 			return nil, fmt.Errorf("server: checkpoint index: %w", err)
 		}
 		res.IndexBytes = n
-		eng.ReplaceBackend(index.NewOverlay(c))
+		// Install the fresh arena as the new frozen base and publish a
+		// snapshot over it (same generation — contents are unchanged, so
+		// cached results stay valid). The arena's temporal order is
+		// frozen in and the empty overlay tail's is trivial, so the new
+		// base is temporal-ready immediately.
+		nb := &epochBase{backend: index.NewOverlay(c)}
+		nb.ensureTemporal()
+		s.base = nb
+		s.resetDeltaLocked()
+		s.publishLocked()
 	}
 	if err := d.log.Rotate(barrier); err != nil {
 		return nil, fmt.Errorf("server: checkpoint wal rotation: %w", err)

@@ -183,6 +183,21 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.matchConfidence = r.Histogram("subtraj_gps_match_confidence",
 		"Per-trace map-matching confidence.", obs.RatioBuckets, nil)
 
+	// Epoch-snapshot ingest: how much of the published view is delta vs
+	// frozen base, and the background compactor's progress.
+	r.GaugeFunc("subtraj_delta_trajectories",
+		"Appended trajectories in the published snapshot's delta index (not yet folded).",
+		nil, func() float64 { return float64(s.eng.DeltaLen()) })
+	r.GaugeFunc("subtraj_folded_trajectories",
+		"Trajectories folded into the published snapshot's frozen base.",
+		nil, func() float64 { return float64(s.eng.FoldedLen()) })
+	r.CounterFunc("subtraj_compactions_total",
+		"Completed background folds of the delta into a fresh frozen base.",
+		nil, func() float64 { return float64(s.eng.Compactions()) })
+	r.CounterFunc("subtraj_snapshot_publishes_total",
+		"Immutable engine snapshots published (appends, folds, checkpoints).",
+		nil, func() float64 { return float64(s.eng.Publishes()) })
+
 	// Robustness: overload shedding and recovered panics.
 	r.CounterFunc("subtraj_requests_shed_total",
 		"Requests shed with a fast 503 because the worker pool stayed saturated past the queue-wait bound.",

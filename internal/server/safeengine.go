@@ -13,58 +13,178 @@ import (
 	"sync/atomic"
 
 	"subtraj/internal/core"
+	"subtraj/internal/index"
 	"subtraj/internal/traj"
 	"subtraj/internal/wed"
 )
 
-// SafeEngine wraps a core.Engine for concurrent use. Queries take a read
-// lock and run in parallel; Append takes the write lock and is serialized
-// against everything. The wrapper also hoists the engine's one hidden
-// write under a read path — the lazily built departure-sorted temporal
-// index — out from under concurrent readers (see core.Engine's doc
-// comment for the full list of mutation points).
+// SafeEngine makes a core.Engine safe for concurrent use with epoch
+// snapshots instead of a reader/writer lock (DESIGN.md §1.11). Every
+// query loads the current immutable engineState through one atomic
+// pointer and runs entirely against it — the read path acquires no
+// mutex, ever. Appends serialize on a narrow ingest mutex, extend the
+// master dataset and an incremental delta index, and publish a fresh
+// snapshot whose backend merges the frozen base with an O(1) view of
+// that delta (index.Epoch); a background compactor periodically folds
+// the delta into a new base so delta cost stays bounded. Durable engines share the same discipline: the WAL
+// append, the dataset extension, and checkpointing all happen under the
+// ingest mutex, so the checkpoint barrier and the publish barrier are
+// one generation.
 //
-// Every Append bumps a generation counter; result caches key their
+// Every Append bumps the published generation; result caches key their
 // entries on it so stale answers die with the generation instead of
-// needing an explicit invalidation channel.
+// needing an explicit invalidation channel. Compaction and checkpoints
+// change the index representation but not its contents, so they publish
+// at the current generation and cached results stay valid.
 type SafeEngine struct {
-	mu  sync.RWMutex
-	eng *core.Engine // guarded by mu (the pointer itself is fixed at construction)
-	gen atomic.Uint64
+	// state is the currently published snapshot. Searches Load it once
+	// and never look back; the writer Stores a fresh state after every
+	// mutation. Never nil after construction.
+	state atomic.Pointer[engineState]
+
+	// ingestMu serializes all writers: appends, compaction's publish
+	// step, and durable checkpoints. Searches never touch it.
+	ingestMu sync.Mutex
+	ds       *traj.Dataset   // guarded by ingestMu — master dataset; published states hold fixed prefix views
+	base     *epochBase      // guarded by ingestMu — current fold target for publishes
+	delta    *index.DeltaMap // guarded by ingestMu — incremental index over ds beyond the base; reset at every fold
+
+	// initialLen is the dataset length at construction; the published
+	// generation is ds.Len()−initialLen, i.e. appends observed by this
+	// wrapper. Immutable after construction.
+	initialLen int
+	costs      wed.FilterCosts // immutable after construction
+
+	// compactAppends is the delta size that triggers a background fold
+	// (0 = never compact automatically). Atomic so tests and servers may
+	// retune it while ingest is live.
+	compactAppends  atomic.Int64
+	compactInFlight atomic.Bool
+	compactions     atomic.Int64
+	lastCompactNS   atomic.Int64
+	publishes       atomic.Int64
 
 	// dur, when non-nil, makes every append write-ahead durable: the
 	// batch is framed into the WAL (and fsynced per policy) before it is
 	// applied to the in-memory engine, so an acknowledged append survives
 	// a crash. Nil = volatile engine, appends behave exactly as before.
 	// Written once by OpenDurable before the engine is shared, then
-	// read-only — so it is deliberately not guarded by mu.
+	// read-only — so it is deliberately NOT guarded by ingestMu.
 	dur *Durability
+}
+
+// engineState is one published snapshot: an engine over a fixed prefix
+// view of the master dataset, with an index that merges the frozen base
+// and the delta covering [baseLen, baseLen+deltaLen). Immutable once
+// stored in SafeEngine.state.
+type engineState struct {
+	eng      *core.Engine
+	gen      uint64
+	baseLen  int // trajectories folded into the frozen base
+	deltaLen int // trajectories in the delta on top of it
+	base     *epochBase
+}
+
+// epochBase is the frozen index core shared by consecutive snapshots
+// between compactions. It carries the one lazily built structure a
+// frozen base may still grow — the departure-sorted temporal order —
+// behind a sync.Once, so the first temporal query across ALL states
+// sharing the base builds it exactly once; after that the build is a
+// read-only no-op and the steady-state read path is one atomic load.
+type epochBase struct {
+	backend      index.Backend
+	temporalOnce sync.Once
+	temporalDone atomic.Bool
+}
+
+// ensureTemporal builds the base's departure-sorted order once. Safe to
+// call concurrently from the lock-free read path: losers of the Once
+// race block until the winner finishes, and subsequent calls are free.
+func (b *epochBase) ensureTemporal() {
+	b.temporalOnce.Do(func() {
+		b.backend.BuildTemporal()
+		b.temporalDone.Store(true)
+	})
 }
 
 // NewSafeEngine wraps eng. The wrapper must be the only user of eng from
 // then on: bypassing it reintroduces the data race it exists to prevent.
+// eng's dataset becomes the master dataset and its backend the first
+// frozen base (so construction publishes snapshot zero without copying
+// anything).
 //
-//subtrajlint:locked mu — s is private to this constructor
+//subtrajlint:locked ingestMu — s is private to this constructor
 func NewSafeEngine(eng *core.Engine) *SafeEngine {
-	return &SafeEngine{eng: eng}
+	s := &SafeEngine{ds: eng.Dataset(), costs: eng.Costs()}
+	s.base = &epochBase{backend: eng.Backend()}
+	s.base.temporalDone.Store(eng.TemporalReady())
+	s.initialLen = s.ds.Len()
+	s.resetDeltaLocked()
+	s.publishLocked()
+	return s
 }
 
-// Unsafe returns the wrapped engine for single-threaded phases (bulk
-// loading before serving starts). Callers must not use it concurrently
-// with the wrapper's own methods.
+// resetDeltaLocked starts a fresh delta map at the current fold
+// boundary and re-indexes whatever dataset tail the base does not
+// cover. Called whenever the base changes (construction, compaction,
+// compact checkpoints); the tail is at most the few appends that landed
+// during an off-lock fold, so this stays cheap. Ordinary appends extend
+// the existing map incrementally instead.
 //
-//subtrajlint:locked mu — reads only the construction-immutable pointer; the caller contract above carries the burden
-func (s *SafeEngine) Unsafe() *core.Engine { return s.eng }
+//subtrajlint:locked ingestMu — callers hold the ingest mutex (or own s exclusively in the constructor)
+func (s *SafeEngine) resetDeltaLocked() {
+	folded := s.base.backend.NumTrajectories()
+	d := index.NewDeltaMap(folded)
+	for id := folded; id < s.ds.Len(); id++ {
+		d.Append(int32(id), s.ds.Get(int32(id)))
+	}
+	s.delta = d
+}
+
+// publishLocked snapshots the master dataset into a fresh immutable
+// engineState and stores it. The delta is NOT rebuilt: the writer's
+// incremental DeltaMap already indexes the unfolded tail, and taking a
+// bounded view of it is O(1) — two slice-header copies — so the cost of
+// a publish is independent of the delta size. That, plus the delta
+// answering temporal windows by scan instead of a per-publish sort, is
+// what keeps a sustained append stream from starving searches of CPU.
+//
+//subtrajlint:locked ingestMu — every caller holds the ingest mutex (or is the constructor)
+func (s *SafeEngine) publishLocked() {
+	n := s.ds.Len()
+	view := s.ds.Slice(n)
+	folded := s.base.backend.NumTrajectories()
+	backend := s.base.backend
+	if n > folded {
+		backend = index.NewEpoch(s.base.backend, s.delta.View())
+	}
+	st := &engineState{
+		eng:      core.NewEngineWithBackend(view, backend, s.costs),
+		gen:      uint64(n - s.initialLen),
+		baseLen:  folded,
+		deltaLen: n - folded,
+		base:     s.base,
+	}
+	s.state.Store(st)
+	s.publishes.Add(1)
+}
+
+// Unsafe returns the currently published engine for single-threaded
+// phases (bulk loading before serving starts). Callers must not mutate
+// through it concurrently with the wrapper's own methods — a published
+// engine is an immutable snapshot, and writes through it are invisible
+// to the wrapper until its next publish.
+func (s *SafeEngine) Unsafe() *core.Engine { return s.state.Load().eng }
 
 // Generation returns the number of Appends applied so far. Two calls
 // returning the same value bracket a window in which the dataset did not
 // change, which is what makes it usable as a cache-validity tag.
-func (s *SafeEngine) Generation() uint64 { return s.gen.Load() }
+func (s *SafeEngine) Generation() uint64 { return s.state.Load().gen }
 
-// Append indexes one more trajectory under the write lock and returns its
-// ID. On a durable engine the record hits the write-ahead log first; a
-// WAL failure returns an error and the engine state is unchanged (the
-// append is neither applied nor acknowledged).
+// Append indexes one more trajectory and returns its ID. On a durable
+// engine the record hits the write-ahead log first; a WAL failure
+// returns an error and the engine state is unchanged (the append is
+// neither applied nor acknowledged).
 func (s *SafeEngine) Append(t traj.Trajectory) (int32, error) {
 	ids, err := s.AppendBatch([]traj.Trajectory{t})
 	if err != nil {
@@ -73,11 +193,13 @@ func (s *SafeEngine) Append(t traj.Trajectory) (int32, error) {
 	return ids[0], nil
 }
 
-// AppendBatch indexes several trajectories under one write-lock
-// acquisition and returns their IDs in order. The generation advances by
-// len(ts), so each appended trajectory invalidates caches exactly as if
-// appended alone — but concurrent searches are blocked only once. The
-// GPS ingestion path appends each matched trace's segments through this.
+// AppendBatch indexes several trajectories under one ingest-mutex
+// acquisition and publishes one snapshot covering all of them, so the
+// generation advances by len(ts) and each appended trajectory
+// invalidates caches exactly as if appended alone. Concurrent searches
+// are never blocked: they keep answering from the previous snapshot
+// until the new one is stored. The GPS ingestion path appends each
+// matched trace's segments through this.
 //
 // On a durable engine the whole batch is logged as one atomic WAL frame
 // before any of it is applied: after a crash either every trajectory of
@@ -88,92 +210,69 @@ func (s *SafeEngine) AppendBatch(ts []traj.Trajectory) ([]int32, error) {
 		return nil, nil
 	}
 	ids := make([]int32, len(ts))
-	s.mu.Lock()
+	s.ingestMu.Lock()
 	if s.dur != nil {
 		if err := s.dur.log.Append(ts); err != nil {
-			s.mu.Unlock()
+			s.ingestMu.Unlock()
 			return nil, fmt.Errorf("server: durable append: %w", err)
 		}
 	}
 	for i := range ts {
-		ids[i] = s.eng.Append(ts[i])
+		ids[i] = s.ds.Add(ts[i])
+		s.delta.Append(ids[i], s.ds.Get(ids[i]))
 	}
-	s.gen.Add(uint64(len(ts)))
-	s.mu.Unlock()
+	s.publishLocked()
+	s.ingestMu.Unlock()
 	s.maybeCheckpoint()
+	s.maybeCompact()
 	return ids, nil
 }
 
-// NumTrajectories returns the current dataset size.
+// NumTrajectories returns the published dataset size.
 func (s *SafeEngine) NumTrajectories() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.Dataset().Len()
+	st := s.state.Load()
+	return st.baseLen + st.deltaLen
 }
+
+// DeltaLen returns how many appended trajectories the published
+// snapshot's delta holds (0 right after a compaction or checkpoint).
+func (s *SafeEngine) DeltaLen() int { return s.state.Load().deltaLen }
+
+// FoldedLen returns how many trajectories the published snapshot's
+// frozen base covers.
+func (s *SafeEngine) FoldedLen() int { return s.state.Load().baseLen }
 
 // Costs returns the engine's cost model (immutable after construction).
-//
-//subtrajlint:locked mu — the cost model is construction-immutable engine state
-func (s *SafeEngine) Costs() wed.FilterCosts { return s.eng.Costs() }
+func (s *SafeEngine) Costs() wed.FilterCosts { return s.costs }
 
 // Threshold converts a τ_ratio into an absolute τ for query q.
-//
-//subtrajlint:locked mu — touches only the construction-immutable cost model
 func (s *SafeEngine) Threshold(q []traj.Symbol, ratio float64) float64 {
-	return ratio * core.SumFilterCost(s.eng.Costs(), q)
+	return ratio * core.SumFilterCost(s.costs, q)
 }
 
-// Search answers a similarity search under the read lock.
+// Search answers a similarity search against the current snapshot.
 func (s *SafeEngine) Search(q []traj.Symbol, tau float64) ([]traj.Match, error) {
 	res, _, err := s.SearchQuery(core.Query{Q: q, Tau: tau})
 	return res, err
 }
 
-// maxTemporalRetries bounds the optimistic RLock→build→retry dance of
-// SearchQuery: past it the query builds the temporal index and runs
-// under the write lock in one critical section. Without the bound, a
-// departure-mode query races every Append for the window between
-// PrepareTemporal's unlock and its own RLock — under sustained append
-// traffic it can lose that race indefinitely and spin (liveness bug).
-const maxTemporalRetries = 2
-
-// SearchQuery answers a fully specified query under the read lock,
-// upgrading to the write lock first when the query needs the not-yet-built
-// temporal index. The upgrade is optimistic — build, downgrade, retry —
-// at most maxTemporalRetries times; after that the query runs under the
-// write lock itself, so sustained Append traffic can delay a temporal
-// query but never starve it.
+// SearchQuery answers a fully specified query against the current
+// snapshot, with no lock on the read path. A TemporalDeparture query
+// never waits on an index rebuild: the delta answers windows by a
+// bounded filtered scan, and the frozen base's departure order is built
+// exactly once behind the base's sync.Once (a one-time cost after which
+// the check is a single atomic load). The old optimistic
+// RLock→build→retry loop this replaces is gone — there is no lock to
+// retry for.
 func (s *SafeEngine) SearchQuery(qr core.Query) ([]traj.Match, *core.QueryStats, error) {
-	needsTemporal := qr.Temporal.Mode == core.TemporalDeparture && !qr.Temporal.DisablePrefilter
-	for attempt := 0; ; attempt++ {
-		s.mu.RLock()
-		if !needsTemporal || s.eng.TemporalReady() {
-			res, stats, err := s.eng.SearchQuery(qr)
-			s.mu.RUnlock()
-			return res, stats, err
-		}
-		// The departure-sorted postings are stale or missing; build them
-		// under the write lock. An Append sneaking in between the unlock
-		// and the retry sends us around the loop again — a bounded number
-		// of times.
-		s.mu.RUnlock()
-		s.mu.Lock()
-		if attempt >= maxTemporalRetries {
-			// Retries exhausted: rebuild and answer in one write-locked
-			// critical section no Append can interleave with. Concurrent
-			// searches stall for this one query; liveness beats the lost
-			// read-parallelism.
-			s.eng.PrepareTemporal()
-			res, stats, err := s.eng.SearchQuery(qr)
-			s.mu.Unlock()
-			return res, stats, err
-		}
-		s.eng.PrepareTemporal()
-		s.mu.Unlock()
+	st := s.state.Load()
+	if qr.Temporal.Mode == core.TemporalDeparture && !qr.Temporal.DisablePrefilter {
+		st.base.ensureTemporal()
 	}
+	return st.eng.SearchQuery(qr)
 }
 
-// SearchTopK answers the top-k protocol under the read lock.
+// SearchTopK answers the top-k protocol against the current snapshot.
 func (s *SafeEngine) SearchTopK(q []traj.Symbol, k int) ([]traj.Match, error) {
 	res, _, err := s.SearchTopKStats(q, k, core.TopKOptions{})
 	return res, err
@@ -186,62 +285,50 @@ func (s *SafeEngine) SearchTopKP(q []traj.Symbol, k, parallelism int) ([]traj.Ma
 	return res, err
 }
 
-// SearchTopKStats answers the top-k protocol under the read lock and
-// returns the driver's merged QueryStats (rounds, reused candidates,
-// final effective τ — see core.Engine.SearchTopKStats).
+// SearchTopKStats answers the top-k protocol against the current
+// snapshot and returns the driver's merged QueryStats (rounds, reused
+// candidates, final effective τ — see core.Engine.SearchTopKStats). The
+// whole multi-round protocol runs against one snapshot, so appends
+// landing between rounds cannot skew the τ refinement.
 func (s *SafeEngine) SearchTopKStats(q []traj.Symbol, k int, opts core.TopKOptions) ([]traj.Match, *core.QueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.SearchTopKStats(q, k, opts)
+	return s.state.Load().eng.SearchTopKStats(q, k, opts)
 }
 
-// NumShards returns the engine's index partition count — the ceiling on
-// any single query's parallelism.
-//
-//subtrajlint:locked mu — the shard layout is fixed at construction
-func (s *SafeEngine) NumShards() int { return s.eng.NumShards() }
+// NumShards returns the published engine's index partition count — the
+// ceiling on any single query's parallelism (the base's shards plus one
+// delta shard while the delta is non-empty).
+func (s *SafeEngine) NumShards() int { return s.state.Load().eng.NumShards() }
 
-// IndexBytes returns the index backend's memory footprint under the read
-// lock (Append grows it under the write lock).
-func (s *SafeEngine) IndexBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.IndexBytes()
-}
+// IndexBytes returns the published index's memory footprint.
+func (s *SafeEngine) IndexBytes() int64 { return s.state.Load().eng.IndexBytes() }
 
 // IndexKind names the index backend family ("pointer" or "compact");
-// fixed at construction, so no lock is needed.
-//
-//subtrajlint:locked mu — fixed at construction
-func (s *SafeEngine) IndexKind() string { return s.eng.IndexKind() }
+// fixed at construction (compaction preserves the family).
+func (s *SafeEngine) IndexKind() string { return s.state.Load().eng.IndexKind() }
 
-// TemporalReady reports whether the departure-sorted temporal postings
-// are built and current — the engine-readiness signal /healthz and the
-// metrics scraper expose. Taken under the read lock because Append
-// invalidates the flag under the write lock.
-func (s *SafeEngine) TemporalReady() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.TemporalReady()
-}
+// TemporalReady reports whether the snapshot's departure-sorted
+// temporal view is fully built — the engine-readiness signal /healthz
+// and the metrics scraper expose. The delta needs no temporal order
+// (windows are scans); the base's is built on first temporal use.
+func (s *SafeEngine) TemporalReady() bool { return s.state.Load().base.temporalDone.Load() }
+
+// PrepareTemporal eagerly builds the base's temporal order so the first
+// TemporalDeparture query doesn't pay for it.
+func (s *SafeEngine) PrepareTemporal() { s.state.Load().base.ensureTemporal() }
 
 // EffectiveParallelism resolves a parallelism setting exactly as the
-// engine will (0 = auto; clamped to the shard count). Both are fixed at
-// construction, so no lock is needed.
-//
-//subtrajlint:locked mu — auto-parallelism and shard count are fixed at construction
-func (s *SafeEngine) EffectiveParallelism(p int) int { return s.eng.EffectiveParallelism(p) }
-
-// SearchExact answers the exact path query under the read lock.
-func (s *SafeEngine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.SearchExact(q)
+// published engine will (0 = auto; clamped to the shard count).
+func (s *SafeEngine) EffectiveParallelism(p int) int {
+	return s.state.Load().eng.EffectiveParallelism(p)
 }
 
-// CountExact returns the exact occurrence count under the read lock.
+// SearchExact answers the exact path query against the current snapshot.
+func (s *SafeEngine) SearchExact(q []traj.Symbol) ([]traj.Match, error) {
+	return s.state.Load().eng.SearchExact(q)
+}
+
+// CountExact returns the exact occurrence count against the current
+// snapshot.
 func (s *SafeEngine) CountExact(q []traj.Symbol) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng.CountExact(q)
+	return s.state.Load().eng.CountExact(q)
 }

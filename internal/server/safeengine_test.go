@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"subtraj/internal/core"
 	"subtraj/internal/traj"
@@ -103,12 +104,15 @@ func TestSafeEngineConcurrentAppendSearch(t *testing.T) {
 }
 
 // TestTemporalSearchUnderAppendLoad is the liveness regression test for
-// the bounded temporal-index retry: departure-mode queries race a
-// sustained append stream that invalidates the temporal index on every
-// write. With the old unbounded RLock→build→retry loop a query could
-// lose the race indefinitely; the bounded upgrade guarantees each query
-// finishes within maxTemporalRetries+1 attempts, so this test must
-// terminate (and -race checks the write-locked path for races).
+// temporal queries under a sustained append stream. Under the old
+// RWMutex design a departure-mode query could lose the
+// RLock→build→retry race against appends and needed a bounded-retry
+// workaround; with epoch snapshots each query runs against an immutable
+// published state whose temporal view is prebuilt, so there is nothing
+// to retry and nothing to starve. Phase two tightens the check into a
+// structural one: with the ingest mutex HELD (every writer blocked),
+// temporal queries must still complete — proving the read path acquires
+// no lock at all, not merely that it wins races.
 func TestTemporalSearchUnderAppendLoad(t *testing.T) {
 	safe, w := newTestEngine(t)
 	q := sampleQuery(t, w.Data, 6, 2)
@@ -161,6 +165,39 @@ func TestTemporalSearchUnderAppendLoad(t *testing.T) {
 	searchWG.Wait()
 	close(stop)
 	wg.Wait()
+
+	// Phase two: zero write-lock acquisitions on the read path. Hold the
+	// ingest mutex — the ONLY mutex the wrapper owns — and require every
+	// query kind to complete anyway. A read path that touched the mutex
+	// (as the old design's temporal upgrade did) would deadlock here and
+	// trip the watchdog.
+	safe.ingestMu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			qr := core.Query{Q: q, Tau: tau}
+			qr.Temporal.Mode = core.TemporalDeparture
+			qr.Temporal.Lo, qr.Temporal.Hi = 0, 1e12
+			if _, _, err := safe.SearchQuery(qr); err != nil {
+				t.Errorf("temporal search under held ingest mutex: %v", err)
+				return
+			}
+			if _, err := safe.SearchTopK(q, 3); err != nil {
+				t.Errorf("topk under held ingest mutex: %v", err)
+				return
+			}
+			safe.Generation()
+			safe.NumTrajectories()
+			safe.TemporalReady()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("read path blocked while the ingest mutex was held — a query acquired a write lock")
+	}
+	safe.ingestMu.Unlock()
 }
 
 // TestSafeEngineAppendVisible checks an appended trajectory is findable

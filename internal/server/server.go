@@ -790,6 +790,26 @@ type StatsSnapshot struct {
 		IndexBytes         int64   `json:"index_bytes"`
 		BytesPerTrajectory float64 `json:"bytes_per_trajectory"`
 	} `json:"engine"`
+	// Ingest reports the epoch-snapshot write path: how much of the
+	// published view lives in the frozen base vs the append delta, and
+	// how often the background compactor has folded and republished.
+	Ingest struct {
+		// FoldedTrajectories / DeltaTrajectories partition the published
+		// dataset: folded ones are in the frozen base, delta ones in the
+		// per-publish rebuilt tail index.
+		FoldedTrajectories int `json:"folded_trajectories"`
+		DeltaTrajectories  int `json:"delta_trajectories"`
+		// CompactAppends is the delta size that triggers a background
+		// fold (0 = automatic compaction disabled).
+		CompactAppends int `json:"compact_appends"`
+		// Compactions counts completed folds; SnapshotPublishes counts
+		// published snapshots (one per append batch, fold, and compact
+		// checkpoint, plus snapshot zero).
+		Compactions       int64 `json:"compactions"`
+		SnapshotPublishes int64 `json:"snapshot_publishes"`
+		// LastCompactionMS is the wall time of the most recent fold.
+		LastCompactionMS float64 `json:"last_compaction_ms"`
+	} `json:"ingest"`
 	Requests struct {
 		Search   int64 `json:"search"`
 		TopK     int64 `json:"topk"`
@@ -922,6 +942,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 	if out.Engine.Trajectories > 0 {
 		out.Engine.BytesPerTrajectory = float64(out.Engine.IndexBytes) / float64(out.Engine.Trajectories)
 	}
+	out.Ingest.FoldedTrajectories = s.eng.FoldedLen()
+	out.Ingest.DeltaTrajectories = s.eng.DeltaLen()
+	out.Ingest.CompactAppends = s.eng.CompactAppends()
+	out.Ingest.Compactions = s.eng.Compactions()
+	out.Ingest.SnapshotPublishes = s.eng.Publishes()
+	out.Ingest.LastCompactionMS = s.eng.LastCompactionMS()
 	out.Requests.Search = s.stats.search.Load()
 	out.Requests.TopK = s.stats.topk.Load()
 	out.Requests.Temporal = s.stats.temporal.Load()

@@ -5,11 +5,13 @@ import (
 	"subtraj/internal/server"
 )
 
-// SafeEngine is a thread-safe façade over an Engine: queries run
-// concurrently under a read lock, Append takes the write lock, and the
-// engine's lazily built temporal index is hoisted out of the read path.
-// Use it whenever more than one goroutine touches the same engine — the
-// plain Engine has no synchronization at all. cmd/wedserve serves HTTP
+// SafeEngine is a thread-safe façade over an Engine: queries read an
+// immutable published snapshot through one atomic load (no lock at all
+// on the read path), Append takes a narrow ingest mutex and publishes
+// the next snapshot, and a background fold periodically absorbs the
+// append delta into the frozen base (see DESIGN.md §1.11). Use it
+// whenever more than one goroutine touches the same engine — the plain
+// Engine has no synchronization at all. cmd/wedserve serves HTTP
 // traffic through exactly this wrapper.
 type SafeEngine struct {
 	inner *server.SafeEngine
@@ -34,7 +36,7 @@ func (s *SafeEngine) Generation() uint64 { return s.inner.Generation() }
 // applied.
 func (s *SafeEngine) Append(t Trajectory) (int32, error) { return s.inner.Append(t) }
 
-// AppendBatch indexes several trajectories under one write-lock
+// AppendBatch indexes several trajectories under one ingest-mutex
 // acquisition (the GPS ingestion path) and returns their IDs in order.
 // On a durable engine the batch is logged as one atomic frame; on error
 // nothing was applied.
@@ -85,7 +87,8 @@ func (s *SafeEngine) SearchTopK(q []Symbol, k int) ([]Match, error) {
 }
 
 // SearchTopKStats is SearchTopK with options and the driver's merged
-// QueryStats (see Engine.SearchTopKStats), under the read lock.
+// QueryStats (see Engine.SearchTopKStats), against one snapshot — the
+// whole multi-round τ refinement sees a single generation.
 func (s *SafeEngine) SearchTopKStats(q []Symbol, k int, opts TopKOptions) ([]Match, *QueryStats, error) {
 	return s.inner.SearchTopKStats(q, k, opts)
 }
